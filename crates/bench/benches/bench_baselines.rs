@@ -1,0 +1,50 @@
+//! Criterion bench for experiment E9: construction cost of PARALLELSPARSIFY versus the
+//! baseline sparsifiers (Spielman–Srivastava resistance sampling pays for Laplacian
+//! solves; uniform sampling is nearly free but carries no guarantee).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use sgs_bench::Workload;
+use sgs_core::baselines::{
+    effective_resistance_sparsify, spanner_oversampling_sparsify, uniform_sparsify,
+};
+use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
+
+fn bench_baseline_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/construction");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 1000, deg: 80 }.build(37);
+    let cfg = SparsifyConfig::new(0.5, 4.0)
+        .with_bundle_sizing(BundleSizing::Fixed(4))
+        .with_seed(5);
+    group.bench_function("parallel_sparsify", |b| b.iter(|| parallel_sparsify(&g, &cfg)));
+    group.bench_function("effective_resistance", |b| {
+        b.iter(|| effective_resistance_sparsify(&g, 0.5, 0.5, 5))
+    });
+    group.bench_function("uniform", |b| b.iter(|| uniform_sparsify(&g, 0.25, 5)));
+    group.bench_function("spanner_oversample", |b| {
+        b.iter(|| spanner_oversampling_sparsify(&g, 0.25, 5))
+    });
+    group.finish();
+}
+
+fn bench_baselines_on_structured_graphs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/structured");
+    group.sample_size(10);
+    let cfg = SparsifyConfig::new(0.5, 4.0)
+        .with_bundle_sizing(BundleSizing::Fixed(4))
+        .with_seed(5);
+    for workload in [Workload::Preferential { n: 1000, k: 20 }, Workload::Barbell { k: 60 }] {
+        let g = workload.build(39);
+        group.bench_function(format!("parallel_sparsify/{}", workload.label()), |b| {
+            b.iter(|| parallel_sparsify(&g, &cfg))
+        });
+        group.bench_function(format!("effective_resistance/{}", workload.label()), |b| {
+            b.iter(|| effective_resistance_sparsify(&g, 0.5, 0.5, 5))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_construction, bench_baselines_on_structured_graphs);
+criterion_main!(benches);

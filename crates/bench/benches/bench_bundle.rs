@@ -1,0 +1,34 @@
+//! Criterion bench for experiment E3: t-bundle spanner construction cost as a function
+//! of `t` (Corollary 2's `O(t m log n)` work bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgs_bench::Workload;
+use sgs_spanner::{t_bundle, BundleConfig};
+
+fn bench_bundle_vs_t(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundle/vs_t");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 1500, deg: 60 }.build(11);
+    for t in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("t", t), &t, |b, &t| {
+            b.iter(|| t_bundle(&g, &BundleConfig::new(t).with_seed(5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bundle_vs_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bundle/vs_density");
+    group.sample_size(10);
+    for &deg in &[20usize, 60, 120] {
+        let g = Workload::ErdosRenyi { n: 1000, deg }.build(13);
+        group.bench_with_input(BenchmarkId::new("m", g.m()), &g, |b, g| {
+            b.iter(|| t_bundle(g, &BundleConfig::new(4).with_seed(5)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bundle_vs_t, bench_bundle_vs_density);
+criterion_main!(benches);

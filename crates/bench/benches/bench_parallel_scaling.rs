@@ -1,0 +1,43 @@
+//! Criterion bench for experiment E6: wall-clock of the sparsifier under thread pools of
+//! different sizes (the CRCW PRAM work/depth claims realised as rayon speed-ups).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgs_bench::Workload;
+use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/threads");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 3000, deg: 100 }.build(31);
+    let cfg = SparsifyConfig::new(0.75, 8.0)
+        .with_bundle_sizing(BundleSizing::Fixed(4))
+        .with_seed(5);
+    for &threads in &[1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, _| {
+            b.iter(|| pool.install(|| parallel_sparsify(&g, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequential_vs_parallel_flag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling/flag");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 3000, deg: 100 }.build(31);
+    for &(label, parallel) in &[("parallel", true), ("sequential", false)] {
+        let cfg = SparsifyConfig::new(0.75, 8.0)
+            .with_bundle_sizing(BundleSizing::Fixed(4))
+            .with_parallel(parallel)
+            .with_seed(5);
+        group.bench_function(label, |b| b.iter(|| parallel_sparsify(&g, &cfg)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_sequential_vs_parallel_flag);
+criterion_main!(benches);

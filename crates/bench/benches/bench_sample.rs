@@ -1,0 +1,45 @@
+//! Criterion bench for experiment E4: one PARALLELSAMPLE round (Theorem 4's
+//! `O(m log³ n / ε²)` work), split into its two phases (bundle vs coin flips).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgs_bench::Workload;
+use sgs_core::{parallel_sample, BundleSizing, SparsifyConfig};
+use sgs_spanner::{t_bundle, BundleConfig};
+
+fn bench_sample_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample/full_round");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 2000, deg: 80 }.build(17);
+    for t in [2usize, 4, 8] {
+        let cfg = SparsifyConfig::new(0.5, 2.0)
+            .with_bundle_sizing(BundleSizing::Fixed(t))
+            .with_seed(7);
+        group.bench_with_input(BenchmarkId::new("t", t), &cfg, |b, cfg| {
+            b.iter(|| parallel_sample(&g, 0.5, cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sample_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample/phases");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 2000, deg: 80 }.build(17);
+    // Phase 1: the bundle alone.
+    group.bench_function("bundle_only_t4", |b| {
+        b.iter(|| t_bundle(&g, &BundleConfig::new(4).with_seed(7)))
+    });
+    // Full round (bundle + sampling) for comparison; the difference is the coin-flip
+    // pass, which Theorem 4 treats as O(m) work.
+    let cfg = SparsifyConfig::new(0.5, 2.0)
+        .with_bundle_sizing(BundleSizing::Fixed(4))
+        .with_seed(7);
+    group.bench_function("bundle_plus_sampling_t4", |b| {
+        b.iter(|| parallel_sample(&g, 0.5, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_round, bench_sample_phases);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion bench for experiment E8: chain construction cost and per-solve cost of the
+//! chain-preconditioned solver versus plain CG (Theorem 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgs_bench::Workload;
+use sgs_solver::{SddSolver, SolverConfig, SolverMethod};
+
+fn bench_chain_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/chain_build");
+    group.sample_size(10);
+    for workload in [
+        Workload::ErdosRenyi { n: 1000, deg: 30 },
+        Workload::Grid { side: 32 },
+        Workload::ImageGrid { side: 32 },
+    ] {
+        let g = workload.build(41);
+        group.bench_with_input(BenchmarkId::new("build", workload.label()), &g, |b, g| {
+            b.iter(|| SddSolver::for_laplacian(g.clone(), SolverConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solve_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/solve_methods");
+    group.sample_size(10);
+    let g = Workload::ImageGrid { side: 32 }.build(43);
+    let n = g.n();
+    let solver = SddSolver::for_laplacian(g, SolverConfig::default());
+    let mut b = vec![0.0; n];
+    b[0] = 1.0;
+    b[n - 1] = -1.0;
+    for (label, method) in [
+        ("cg", SolverMethod::Cg),
+        ("jacobi_pcg", SolverMethod::JacobiPcg),
+        ("chain_pcg", SolverMethod::ChainPcg),
+    ] {
+        group.bench_function(label, |bench| bench.iter(|| solver.solve_with(&b, method)));
+    }
+    group.finish();
+}
+
+fn bench_solve_vs_condition_number(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/vs_condition_number");
+    group.sample_size(10);
+    for &n in &[200usize, 800] {
+        let g = sgs_graph::generators::path(n, 1.0);
+        let solver = SddSolver::for_laplacian(g, SolverConfig::default());
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        b[n - 1] = -1.0;
+        group.bench_with_input(BenchmarkId::new("cg/path", n), &n, |bench, _| {
+            bench.iter(|| solver.solve_with(&b, SolverMethod::Cg))
+        });
+        group.bench_with_input(BenchmarkId::new("chain_pcg/path", n), &n, |bench, _| {
+            bench.iter(|| solver.solve_with(&b, SolverMethod::ChainPcg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain_build,
+    bench_solve_methods,
+    bench_solve_vs_condition_number
+);
+criterion_main!(benches);

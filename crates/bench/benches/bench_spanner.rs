@@ -1,0 +1,53 @@
+//! Criterion bench for experiment E1: Baswana–Sen spanner construction time as a
+//! function of graph size and density (Theorem 1's `O(m log n)` work bound), including
+//! the sequential-vs-parallel comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgs_bench::Workload;
+use sgs_spanner::{baswana_sen_spanner, greedy_spanner, SpannerConfig};
+
+fn bench_spanner_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanner/baswana_sen_scaling");
+    group.sample_size(10);
+    for &n in &[1000usize, 2000, 4000] {
+        let g = Workload::ErdosRenyi { n, deg: 32 }.build(7);
+        group.bench_with_input(BenchmarkId::new("m", g.m()), &g, |b, g| {
+            b.iter(|| baswana_sen_spanner(g, &SpannerConfig::with_seed(3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spanner_parallel_vs_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanner/parallel_vs_sequential");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 3000, deg: 60 }.build(9);
+    group.bench_function("parallel", |b| {
+        b.iter(|| baswana_sen_spanner(&g, &SpannerConfig::with_seed(3).with_parallel(true)))
+    });
+    group.bench_function("sequential", |b| {
+        b.iter(|| baswana_sen_spanner(&g, &SpannerConfig::with_seed(3).with_parallel(false)))
+    });
+    group.finish();
+}
+
+fn bench_greedy_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanner/greedy_baseline");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 400, deg: 30 }.build(5);
+    let bound = 2.0 * (g.n() as f64).log2();
+    group.bench_function("greedy", |b| b.iter(|| greedy_spanner(&g, bound)));
+    group.bench_function("baswana_sen", |b| {
+        b.iter(|| baswana_sen_spanner(&g, &SpannerConfig::with_seed(3)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_spanner_scaling,
+    bench_spanner_parallel_vs_sequential,
+    bench_greedy_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for experiment E5: full PARALLELSPARSIFY runs under the ρ sweep
+//! (Theorem 5's `O(m log² n log³ ρ / ε²)` total work, dominated by the first round).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgs_bench::Workload;
+use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
+
+fn bench_sparsify_rho_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsify/rho_sweep");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 2000, deg: 100 }.build(19);
+    for rho in [2u32, 8, 32] {
+        let cfg = SparsifyConfig::new(0.75, rho as f64)
+            .with_bundle_sizing(BundleSizing::Fixed(4))
+            .with_seed(3);
+        group.bench_with_input(BenchmarkId::new("rho", rho), &cfg, |b, cfg| {
+            b.iter(|| parallel_sparsify(&g, cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsify_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparsify/size_scaling");
+    group.sample_size(10);
+    for &n in &[1000usize, 2000, 4000] {
+        let g = Workload::ErdosRenyi { n, deg: 60 }.build(23);
+        let cfg = SparsifyConfig::new(0.75, 8.0)
+            .with_bundle_sizing(BundleSizing::Fixed(4))
+            .with_seed(3);
+        group.bench_with_input(BenchmarkId::new("m", g.m()), &g, |b, g| {
+            b.iter(|| parallel_sparsify(g, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparsify_epsilon_ablation(c: &mut Criterion) {
+    // Ablation called out in DESIGN.md: the keep-probability (the paper fixes 1/4).
+    let mut group = c.benchmark_group("sparsify/keep_probability_ablation");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 2000, deg: 80 }.build(29);
+    for &(label, p) in &[("p=0.25", 0.25f64), ("p=0.5", 0.5), ("p=0.75", 0.75)] {
+        let cfg = SparsifyConfig::new(0.75, 8.0)
+            .with_bundle_sizing(BundleSizing::Fixed(4))
+            .with_keep_probability(p)
+            .with_seed(3);
+        group.bench_function(label, |b| b.iter(|| parallel_sparsify(&g, &cfg)));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sparsify_rho_sweep,
+    bench_sparsify_size_scaling,
+    bench_sparsify_epsilon_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Experiment E3 — Lemma 1 / Corollaries 1–2: the bundle certificate.
+//!
+//! For a graph small enough to compute exact effective resistances, sweeps the bundle
+//! parameter `t` and reports: the bundle size against `t · n log n`, the worst
+//! off-bundle leverage score `w_e R_e[G]` against the certified bound `log n / t`, and
+//! the fraction of edges left outside the bundle (the uniformly sampled population).
+//!
+//! Run with: `cargo run --release -p sgs-bench --bin exp_bundle [--json]`
+
+use sgs_bench::{print_table, time_ms, Row};
+use sgs_graph::generators;
+use sgs_linalg::resistance::exact_effective_resistances;
+use sgs_spanner::{t_bundle, BundleConfig};
+
+fn main() {
+    let n = 500;
+    let g = generators::erdos_renyi(n, 0.2, 1.0, 11);
+    let resistances = exact_effective_resistances(&g);
+    let log_n = (n as f64).log2();
+    println!("graph: n = {n}, m = {}", g.m());
+
+    let mut rows = Vec::new();
+    for t in [1usize, 2, 4, 8, 16, 32] {
+        let (bundle, ms) = time_ms(|| t_bundle(&g, &BundleConfig::new(t).with_seed(5)));
+        let mut worst_leverage: f64 = 0.0;
+        let mut off_bundle = 0usize;
+        for (id, e) in g.edges().iter().enumerate() {
+            if !bundle.in_bundle[id] {
+                off_bundle += 1;
+                worst_leverage = worst_leverage.max(e.w * resistances[id]);
+            }
+        }
+        rows.push(
+            Row::new(format!("t = {t}"))
+                .push("bundle_edges", bundle.bundle_size as f64)
+                .push("edges/(t n log n)", bundle.bundle_size as f64 / (t as f64 * n as f64 * log_n))
+                .push("off_bundle", off_bundle as f64)
+                .push("worst w_e R_e", worst_leverage)
+                .push("bound log n / t", log_n / t as f64)
+                .push("work/(t m log n)", bundle.work as f64 / (t as f64 * g.m() as f64 * log_n))
+                .push("time_ms", ms),
+        );
+    }
+    print_table(
+        "E3: t-bundle spanner certificate (Lemma 1) — worst off-bundle leverage vs log n / t",
+        &rows,
+    );
+    println!("every 'worst w_e R_e' entry must sit below its 'bound log n / t' entry.");
+}

@@ -1,0 +1,85 @@
+//! Experiments E2 + E7 — Theorem 2 and Corollary 3 / Theorem 5 (distributed model).
+//!
+//! Part 1 (E2): distributed Baswana–Sen spanner — rounds vs `log² n`, messages vs
+//! `m log n`, message width vs `log n`.
+//!
+//! Part 2 (E7): distributed PARALLELSAMPLE — rounds and communication as the bundle
+//! parameter grows, and the full distributed PARALLELSPARSIFY for a ρ sweep.
+//!
+//! Run with: `cargo run --release -p sgs-bench --bin exp_distributed [--json]`
+
+use sgs_bench::{print_table, Row, Workload};
+use sgs_core::{BundleSizing, SparsifyConfig};
+use sgs_distributed::{distributed_sample, distributed_sparsify, distributed_spanner, DistSpannerConfig};
+use sgs_graph::stretch;
+
+fn main() {
+    // --- E2: spanner scaling.
+    let mut rows = Vec::new();
+    for &n in &[250usize, 500, 1000, 2000] {
+        let g = Workload::ErdosRenyi { n, deg: 16 }.build(9);
+        let log_n = (n as f64).log2();
+        let r = distributed_spanner(&g, &DistSpannerConfig::with_seed(3));
+        let h = g.with_edge_ids(&r.edge_ids);
+        let s = if n <= 1000 { stretch::max_stretch(&g, &h) } else { f64::NAN };
+        rows.push(
+            Row::new(format!("n = {n}"))
+                .push("m", g.m() as f64)
+                .push("spanner", r.edge_ids.len() as f64)
+                .push("rounds", r.metrics.rounds as f64)
+                .push("rounds/log^2 n", r.metrics.rounds as f64 / (log_n * log_n))
+                .push("messages", r.metrics.messages as f64)
+                .push("msgs/(m log n)", r.metrics.messages as f64 / (g.m() as f64 * log_n))
+                .push("max_bits", r.metrics.max_message_bits as f64)
+                .push("max_stretch", s),
+        );
+    }
+    print_table(
+        "E2: distributed Baswana-Sen spanner (Theorem 2) — O(log^2 n) rounds, O(m log n) messages",
+        &rows,
+    );
+
+    // --- E7: distributed sampling / sparsification.
+    let g = Workload::ErdosRenyi { n: 600, deg: 40 }.build(11);
+    println!("\ndistributed sampling input: n = {}, m = {}", g.n(), g.m());
+    let mut rows = Vec::new();
+    for t in [1usize, 2, 4, 8] {
+        let cfg = SparsifyConfig::new(0.5, 2.0)
+            .with_bundle_sizing(BundleSizing::Fixed(t))
+            .with_seed(13);
+        let out = distributed_sample(&g, 0.5, &cfg);
+        rows.push(
+            Row::new(format!("t = {t}"))
+                .push("bundle", out.bundle_edges as f64)
+                .push("m_out", out.sparsifier.m() as f64)
+                .push("rounds", out.metrics.rounds as f64)
+                .push("rounds/t", out.metrics.rounds as f64 / t as f64)
+                .push("messages", out.metrics.messages as f64)
+                .push("messages/t", out.metrics.messages as f64 / t as f64),
+        );
+    }
+    print_table(
+        "E7a: distributed PARALLELSAMPLE (Corollary 3) — rounds and communication linear in t",
+        &rows,
+    );
+
+    let mut rows = Vec::new();
+    for rho in [2.0f64, 4.0, 16.0] {
+        let cfg = SparsifyConfig::new(0.75, rho)
+            .with_bundle_sizing(BundleSizing::Fixed(2))
+            .with_seed(17);
+        let out = distributed_sparsify(&g, &cfg);
+        rows.push(
+            Row::new(format!("rho = {rho}"))
+                .push("rounds_executed", out.rounds_executed as f64)
+                .push("m_out", out.sparsifier.m() as f64)
+                .push("sim_rounds", out.metrics.rounds as f64)
+                .push("messages", out.metrics.messages as f64)
+                .push("max_bits", out.metrics.max_message_bits as f64),
+        );
+    }
+    print_table(
+        "E7b: distributed PARALLELSPARSIFY (Theorem 5, distributed part) — rho sweep",
+        &rows,
+    );
+}

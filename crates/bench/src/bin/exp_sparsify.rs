@@ -1,0 +1,51 @@
+//! Experiment E5 — Theorem 5: PARALLELSPARSIFY under a ρ sweep.
+//!
+//! Reports, for growing sparsification factors ρ: the number of rounds (`⌈log ρ⌉`), the
+//! achieved compression versus the requested ρ, the size against the
+//! `n polylog(n) + m/ρ` prediction, the certified spectral bounds, and the total work
+//! against `m` (Theorem 5 predicts the work is dominated by the first round).
+//!
+//! Run with: `cargo run --release -p sgs-bench --bin exp_sparsify [--json]`
+
+use sgs_bench::{print_table, time_ms, Row, Workload};
+use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
+use sgs_linalg::spectral::CertifyOptions;
+
+fn main() {
+    let workload = Workload::ErdosRenyi { n: 1500, deg: 120 };
+    let g = workload.build(17);
+    println!("graph: {} with n = {}, m = {}", workload.label(), g.n(), g.m());
+
+    let mut rows = Vec::new();
+    for rho in [2.0f64, 4.0, 8.0, 16.0, 32.0, 64.0] {
+        let cfg = SparsifyConfig::new(0.75, rho)
+            .with_bundle_sizing(BundleSizing::Fixed(4))
+            .with_seed(3);
+        let (out, ms) = time_ms(|| parallel_sparsify(&g, &cfg));
+        let bounds = sgs_linalg::spectral::approximation_bounds(
+            &g,
+            &out.sparsifier,
+            &CertifyOptions::default(),
+        );
+        rows.push(
+            Row::new(format!("rho = {rho}"))
+                .push("rounds", out.rounds_executed as f64)
+                .push("m_out", out.sparsifier.m() as f64)
+                .push("m/rho", g.m() as f64 / rho)
+                .push("achieved_factor", out.achieved_factor())
+                .push("lower", bounds.lower)
+                .push("upper", bounds.upper)
+                .push("work/m", out.stats.total_work() as f64 / g.m() as f64)
+                .push("time_ms", ms),
+        );
+    }
+    print_table(
+        "E5: PARALLELSPARSIFY (Theorem 5) — rho sweep: rounds, size vs n polylog + m/rho, quality, work",
+        &rows,
+    );
+    println!(
+        "the output size tracks m/rho until the n·polylog(n) floor (the bundle) dominates;\n\
+         work grows only logarithmically in rho because later rounds run on geometrically\n\
+         smaller graphs."
+    );
+}

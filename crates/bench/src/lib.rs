@@ -1,0 +1,185 @@
+//! # sgs-bench
+//!
+//! Shared infrastructure for the experiment binaries (`src/bin/exp_*.rs`) and the
+//! Criterion benches (`benches/bench_*.rs`) that regenerate every experiment listed in
+//! `EXPERIMENTS.md`.
+//!
+//! Each experiment binary prints a table whose rows correspond to the series recorded in
+//! `EXPERIMENTS.md`, and optionally dumps the same rows as JSON (pass `--json`), so the
+//! document can be regenerated mechanically.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+use sgs_graph::{generators, Graph};
+
+/// The standard workload suite used across experiments.
+///
+/// The families mirror the workloads the paper's introduction motivates: dense random
+/// graphs (the sparsification target), expander-like random regular graphs (where
+/// uniform sampling is already competitive), structured grids / image-affinity graphs
+/// (the SDD-solver workload of Remark 1), heavy-tailed preferential-attachment graphs,
+/// and barbells (adversarial for uniform sampling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Erdős–Rényi `G(n, p)` with expected average degree `deg`.
+    ErdosRenyi {
+        /// Number of vertices.
+        n: usize,
+        /// Target average degree.
+        deg: usize,
+    },
+    /// Random `d`-regular graph.
+    RandomRegular {
+        /// Number of vertices.
+        n: usize,
+        /// Degree.
+        d: usize,
+    },
+    /// Two-dimensional grid.
+    Grid {
+        /// Side length (the graph has `side²` vertices).
+        side: usize,
+    },
+    /// Synthetic image-affinity grid.
+    ImageGrid {
+        /// Side length.
+        side: usize,
+    },
+    /// Preferential-attachment graph with `k` edges per new vertex.
+    Preferential {
+        /// Number of vertices.
+        n: usize,
+        /// Edges added per vertex.
+        k: usize,
+    },
+    /// Barbell: two cliques of size `k` joined by one unit-weight edge.
+    Barbell {
+        /// Clique size.
+        k: usize,
+    },
+}
+
+impl Workload {
+    /// Short label used in tables.
+    pub fn label(&self) -> String {
+        match self {
+            Workload::ErdosRenyi { n, deg } => format!("er(n={n},deg={deg})"),
+            Workload::RandomRegular { n, d } => format!("reg(n={n},d={d})"),
+            Workload::Grid { side } => format!("grid({side}x{side})"),
+            Workload::ImageGrid { side } => format!("image({side}x{side})"),
+            Workload::Preferential { n, k } => format!("pa(n={n},k={k})"),
+            Workload::Barbell { k } => format!("barbell(k={k})"),
+        }
+    }
+
+    /// Materialises the workload graph with a fixed seed.
+    pub fn build(&self, seed: u64) -> Graph {
+        match *self {
+            Workload::ErdosRenyi { n, deg } => {
+                let p = (deg as f64 / (n as f64 - 1.0)).min(1.0);
+                generators::erdos_renyi(n, p, 1.0, seed)
+            }
+            Workload::RandomRegular { n, d } => generators::random_regular(n, d, 1.0, seed),
+            Workload::Grid { side } => generators::grid2d(side, side, 1.0),
+            Workload::ImageGrid { side } => generators::image_affinity_grid(side, side, 50.0, seed),
+            Workload::Preferential { n, k } => generators::preferential_attachment(n, k, 1.0, seed),
+            Workload::Barbell { k } => generators::barbell(k, 1, 1.0, 1.0),
+        }
+    }
+}
+
+/// A single row of an experiment table: a label plus named numeric columns.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label (workload / parameter setting).
+    pub label: String,
+    /// Named numeric values.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>) -> Self {
+        Row { label: label.into(), values: Vec::new() }
+    }
+
+    /// Adds a named value.
+    pub fn push(mut self, name: &str, value: f64) -> Self {
+        self.values.push((name.to_string(), value));
+        self
+    }
+}
+
+/// Prints a table of rows with aligned columns, followed by optional JSON output when
+/// the process was invoked with `--json`.
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    // Header from the first row's value names.
+    let headers: Vec<&str> = rows[0].values.iter().map(|(n, _)| n.as_str()).collect();
+    print!("{:<26}", "workload");
+    for h in &headers {
+        print!(" {h:>14}");
+    }
+    println!();
+    for row in rows {
+        print!("{:<26}", row.label);
+        for (_, v) in &row.values {
+            if v.abs() >= 1000.0 || (*v != 0.0 && v.abs() < 0.01) {
+                print!(" {v:>14.3e}");
+            } else {
+                print!(" {v:>14.3}");
+            }
+        }
+        println!();
+    }
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", serde_json::to_string_pretty(rows).expect("serializable rows"));
+    }
+}
+
+/// Measures the wall-clock time of a closure in milliseconds, returning the result too.
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build_nonempty_graphs() {
+        let workloads = [
+            Workload::ErdosRenyi { n: 100, deg: 10 },
+            Workload::RandomRegular { n: 100, d: 6 },
+            Workload::Grid { side: 10 },
+            Workload::ImageGrid { side: 10 },
+            Workload::Preferential { n: 100, k: 3 },
+            Workload::Barbell { k: 10 },
+        ];
+        for w in workloads {
+            let g = w.build(3);
+            assert!(g.n() > 0, "{}", w.label());
+            assert!(g.m() > 0, "{}", w.label());
+            assert!(!w.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn rows_and_timer() {
+        let row = Row::new("x").push("a", 1.0).push("b", 2.0);
+        assert_eq!(row.values.len(), 2);
+        let (v, ms) = time_ms(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+        print_table("test table", &[row]);
+        print_table("empty", &[]);
+    }
+}

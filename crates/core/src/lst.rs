@@ -1,0 +1,224 @@
+//! The Remark 2 extension: trees instead of spanners inside the bundle.
+//!
+//! Remark 2 of the paper observes that low-stretch spanning trees can replace spanners
+//! in the bundle, saving an `O(log n)` factor in the sparsifier size, at the price of a
+//! larger stretch bound per component (low-stretch trees guarantee small *average*
+//! stretch rather than small maximum stretch).
+//!
+//! **Substitution note** (documented in `DESIGN.md`): a full Abraham–Neiman style
+//! low-stretch tree construction is out of scope; we use the classical substitute that
+//! practical solvers (e.g. combinatorial-multigrid style preconditioners) use — a
+//! maximum-weight spanning tree (minimum resistance), computed with Kruskal. On the
+//! graph families in our experiments its average stretch is small, which is the property
+//! the sparsifier actually consumes; the experiment E10 measures the achieved quality
+//! rather than assuming the theoretical bound.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use sgs_graph::{connectivity::UnionFind, EdgeId, Graph};
+
+use crate::config::SparsifyConfig;
+use crate::stats::WorkStats;
+
+/// Computes a maximum-weight (minimum-resistance) spanning forest of the edges that are
+/// still `alive`, returning the chosen edge ids.
+fn max_weight_spanning_forest(g: &Graph, alive: &[bool]) -> Vec<EdgeId> {
+    let mut order: Vec<EdgeId> = (0..g.m()).filter(|&id| alive[id]).collect();
+    order.sort_by(|&a, &b| {
+        g.edge(b)
+            .w
+            .partial_cmp(&g.edge(a).w)
+            .unwrap()
+            .then_with(|| a.cmp(&b))
+    });
+    let mut uf = UnionFind::new(g.n());
+    let mut tree = Vec::with_capacity(g.n().saturating_sub(1));
+    for id in order {
+        let e = g.edge(id);
+        if uf.union(e.u, e.v) {
+            tree.push(id);
+        }
+    }
+    tree.sort_unstable();
+    tree
+}
+
+/// Output of the tree-bundle sparsifier.
+#[derive(Debug, Clone)]
+pub struct TreeBundleOutput {
+    /// The sparsified graph.
+    pub sparsifier: Graph,
+    /// Number of tree components in the bundle.
+    pub trees: usize,
+    /// Edges contributed by the tree bundle.
+    pub bundle_edges: usize,
+    /// Off-bundle edges kept by sampling.
+    pub sampled_edges: usize,
+    /// Work counters.
+    pub stats: WorkStats,
+}
+
+/// One round of the Remark 2 variant of `PARALLELSAMPLE`: a bundle of `t` edge-disjoint
+/// spanning forests (instead of spanners), then uniform sampling of the rest.
+pub fn tree_bundle_sample(g: &Graph, t: usize, cfg: &SparsifyConfig) -> TreeBundleOutput {
+    let m = g.m();
+    let mut alive = vec![true; m];
+    let mut in_bundle = vec![false; m];
+    let mut work = 0u64;
+    let mut trees = 0usize;
+    for _ in 0..t {
+        let forest = max_weight_spanning_forest(g, &alive);
+        work += m as u64;
+        if forest.is_empty() {
+            break;
+        }
+        trees += 1;
+        for id in forest {
+            in_bundle[id] = true;
+            alive[id] = false;
+        }
+    }
+
+    let p = cfg.keep_probability;
+    let seed = cfg.seed ^ 0x7EE5_0000_0000_0001;
+    let mut sparsifier = Graph::with_capacity(g.n(), m / 2);
+    let mut bundle_edges = 0usize;
+    let mut sampled_edges = 0usize;
+    for (id, e) in g.edges().iter().enumerate() {
+        if in_bundle[id] {
+            sparsifier.push_edge_unchecked(e.u, e.v, e.w);
+            bundle_edges += 1;
+        } else {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(id as u64));
+            if rng.gen::<f64>() < p {
+                sparsifier.push_edge_unchecked(e.u, e.v, e.w / p);
+                sampled_edges += 1;
+            }
+        }
+    }
+
+    let stats = WorkStats {
+        spanner_work: work,
+        sampling_work: m as u64,
+        rounds: 1,
+        edges_per_round: vec![m],
+        bundle_t_per_round: vec![t],
+        bundle_edges_per_round: vec![bundle_edges],
+    };
+    TreeBundleOutput { sparsifier, trees, bundle_edges, sampled_edges, stats }
+}
+
+/// The iterated (Algorithm 2 style) version of the tree-bundle sparsifier.
+pub fn tree_bundle_sparsify(g: &Graph, t: usize, cfg: &SparsifyConfig) -> TreeBundleOutput {
+    let rounds = cfg.rounds();
+    let n = g.n();
+    let stop_threshold =
+        (cfg.stop_below_nlogn_factor * n as f64 * (n.max(2) as f64).log2()).ceil() as usize;
+    let mut current = g.clone();
+    let mut stats = WorkStats::default();
+    let mut total_trees = 0;
+    let mut bundle_edges = 0;
+    let mut sampled_edges = 0;
+    for round in 0..rounds {
+        if current.m() <= stop_threshold {
+            break;
+        }
+        let mut round_cfg = cfg.clone();
+        round_cfg.seed = cfg.seed.wrapping_add(round as u64 * 0x51ED);
+        let out = tree_bundle_sample(&current, t, &round_cfg);
+        stats.absorb_round(&out.stats);
+        total_trees += out.trees;
+        bundle_edges = out.bundle_edges;
+        sampled_edges = out.sampled_edges;
+        current = out.sparsifier;
+    }
+    stats.edges_per_round.push(current.m());
+    TreeBundleOutput {
+        sparsifier: current,
+        trees: total_trees,
+        bundle_edges,
+        sampled_edges,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::{connectivity::is_connected, generators};
+    use sgs_linalg::spectral::{approximation_bounds, CertifyOptions};
+
+    fn cfg(seed: u64) -> SparsifyConfig {
+        SparsifyConfig::new(0.5, 4.0).with_seed(seed)
+    }
+
+    #[test]
+    fn spanning_forest_is_a_tree_on_connected_graphs() {
+        let g = generators::erdos_renyi(100, 0.2, 1.0, 3);
+        assert!(is_connected(&g));
+        let tree = max_weight_spanning_forest(&g, &vec![true; g.m()]);
+        assert_eq!(tree.len(), g.n() - 1);
+        let tg = g.with_edge_ids(&tree);
+        assert!(is_connected(&tg));
+    }
+
+    #[test]
+    fn forest_prefers_heavy_edges() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 10.0).unwrap();
+        g.add_edge(1, 2, 10.0).unwrap();
+        g.add_edge(0, 2, 0.1).unwrap();
+        let tree = max_weight_spanning_forest(&g, &[true, true, true]);
+        assert_eq!(tree, vec![0, 1]);
+    }
+    use sgs_graph::Graph;
+
+    #[test]
+    fn tree_bundle_keeps_graph_connected_and_smaller() {
+        let g = generators::erdos_renyi(300, 0.3, 1.0, 7);
+        let out = tree_bundle_sample(&g, 3, &cfg(1));
+        assert!(is_connected(&out.sparsifier));
+        assert!(out.sparsifier.m() < g.m());
+        assert_eq!(out.trees, 3);
+        assert!(out.bundle_edges >= g.n() - 1);
+        assert_eq!(out.bundle_edges + out.sampled_edges, out.sparsifier.m());
+    }
+
+    #[test]
+    fn tree_bundle_is_smaller_than_spanner_bundle_per_component() {
+        // Remark 2's selling point: each tree has n-1 edges versus O(n log n) for a
+        // spanner, so at equal t the bundle is about a log n factor smaller.
+        let g = generators::erdos_renyi(400, 0.3, 1.0, 9);
+        let tree_out = tree_bundle_sample(&g, 4, &cfg(3));
+        let spanner_out = crate::sample::parallel_sample(
+            &g,
+            0.5,
+            &cfg(3).with_bundle_sizing(crate::config::BundleSizing::Fixed(4)),
+        );
+        assert!(
+            tree_out.bundle_edges < spanner_out.bundle_edges,
+            "tree bundle {} >= spanner bundle {}",
+            tree_out.bundle_edges,
+            spanner_out.bundle_edges
+        );
+    }
+
+    #[test]
+    fn iterated_tree_bundle_sparsifies_and_stays_reasonable() {
+        let g = generators::erdos_renyi(250, 0.5, 1.0, 11);
+        let out = tree_bundle_sparsify(&g, 4, &cfg(5));
+        assert!(out.sparsifier.m() < g.m() / 2);
+        assert!(is_connected(&out.sparsifier));
+        let b = approximation_bounds(&g, &out.sparsifier, &CertifyOptions::default());
+        assert!(b.lower > 0.2 && b.upper < 4.0, "{b:?}");
+    }
+
+    #[test]
+    fn exhausting_t_swallows_sparse_graphs() {
+        let g = generators::grid2d(12, 12, 1.0);
+        let out = tree_bundle_sample(&g, 100, &cfg(2));
+        assert_eq!(out.sparsifier.m(), g.m());
+        assert_eq!(out.sampled_edges, 0);
+    }
+}

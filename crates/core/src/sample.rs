@@ -1,0 +1,242 @@
+//! `PARALLELSAMPLE` (Algorithm 1 of the paper).
+//!
+//! ```text
+//! Input: graph G, parameter ε
+//! 1: compute a (24 log² n / ε²)-bundle spanner H of G
+//! 2: G̃ := H
+//! 3: for each edge e ∉ H, with probability 1/4 add e to G̃ with weight 4 w_e
+//! 4: return G̃
+//! ```
+//!
+//! The bundle certifies (Lemma 1 / Corollary 1) that every off-bundle edge has leverage
+//! `w_e R_e[G] ≤ log n / t`, so the matrix Chernoff bound (Theorem 3) shows the
+//! uniformly sampled, reweighted graph is a `(1 ± ε)` approximation of `G` with
+//! probability `1 − 1/n²` (Theorem 4). In expectation the off-bundle edge count drops by
+//! a factor of 4 — the output has `O(n log³ n / ε² + m/2)` edges.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use sgs_graph::Graph;
+use sgs_spanner::{t_bundle, BundleConfig, SpannerConfig};
+
+use crate::config::SparsifyConfig;
+use crate::stats::WorkStats;
+
+/// Output of one `PARALLELSAMPLE` round.
+#[derive(Debug, Clone)]
+pub struct SampleOutput {
+    /// The sampled graph `G̃`.
+    pub sparsifier: Graph,
+    /// Number of edges that came from the bundle `H`.
+    pub bundle_edges: usize,
+    /// Number of off-bundle edges kept by the coin flips.
+    pub sampled_edges: usize,
+    /// The resolved bundle parameter `t`.
+    pub t: usize,
+    /// Work counters for this round.
+    pub stats: WorkStats,
+}
+
+/// Runs one round of `PARALLELSAMPLE` on `g` with accuracy `eps`.
+///
+/// `cfg` supplies the bundle sizing rule, keep probability, seed and parallelism flag;
+/// `eps` is passed separately because `PARALLELSPARSIFY` calls this with the per-round
+/// accuracy `ε / ⌈log ρ⌉`.
+pub fn parallel_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> SampleOutput {
+    assert!(eps > 0.0, "epsilon must be positive");
+    let n = g.n();
+    let m = g.m();
+    let t = cfg.bundle_sizing.resolve(n, eps);
+
+    // Step 1: the t-bundle spanner.
+    let bundle_cfg = BundleConfig {
+        t,
+        spanner: SpannerConfig {
+            k: None,
+            seed: cfg.seed,
+            parallel: cfg.parallel,
+        },
+    };
+    let bundle = t_bundle(g, &bundle_cfg);
+
+    // Steps 2–3: keep the bundle, flip a coin for everything else. Each edge uses its
+    // own counter-seeded RNG stream so the outcome is independent of thread scheduling.
+    let p = cfg.keep_probability;
+    let reweight = 1.0 / p;
+    let seed = cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+    let decide = |id: usize| -> Option<f64> {
+        let e = g.edge(id);
+        if bundle.in_bundle[id] {
+            Some(e.w)
+        } else {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(id as u64));
+            if rng.gen::<f64>() < p {
+                Some(e.w * reweight)
+            } else {
+                None
+            }
+        }
+    };
+    let kept: Vec<(usize, f64)> = if cfg.parallel {
+        (0..m)
+            .into_par_iter()
+            .filter_map(|id| decide(id).map(|w| (id, w)))
+            .collect()
+    } else {
+        (0..m).filter_map(|id| decide(id).map(|w| (id, w))).collect()
+    };
+
+    let mut sparsifier = Graph::with_capacity(n, kept.len());
+    let mut bundle_edges = 0usize;
+    let mut sampled_edges = 0usize;
+    for &(id, w) in &kept {
+        let e = g.edge(id);
+        sparsifier.push_edge_unchecked(e.u, e.v, w);
+        if bundle.in_bundle[id] {
+            bundle_edges += 1;
+        } else {
+            sampled_edges += 1;
+        }
+    }
+
+    let stats = WorkStats {
+        spanner_work: bundle.work,
+        sampling_work: m as u64,
+        rounds: 1,
+        edges_per_round: vec![m],
+        bundle_t_per_round: vec![t],
+        bundle_edges_per_round: vec![bundle.bundle_size],
+    };
+
+    SampleOutput { sparsifier, bundle_edges, sampled_edges, t, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BundleSizing;
+    use sgs_graph::{connectivity::is_connected, generators};
+    use sgs_linalg::spectral::{approximation_bounds, CertifyOptions};
+
+    fn base_cfg() -> SparsifyConfig {
+        SparsifyConfig::new(0.5, 2.0)
+            .with_bundle_sizing(BundleSizing::Fixed(3))
+            .with_seed(17)
+    }
+
+    #[test]
+    fn expectation_of_output_equals_input() {
+        // E[G̃] = G: the total weight of the output should concentrate around the total
+        // weight of the input (bundle kept at weight w, off-bundle kept at 4w w.p. 1/4).
+        let g = generators::erdos_renyi(300, 0.3, 1.0, 5);
+        let mut totals = Vec::new();
+        for seed in 0..8 {
+            let out = parallel_sample(&g, 0.5, &base_cfg().with_seed(seed));
+            totals.push(out.sparsifier.total_weight());
+        }
+        let mean = totals.iter().sum::<f64>() / totals.len() as f64;
+        let rel = (mean - g.total_weight()).abs() / g.total_weight();
+        assert!(rel < 0.05, "mean output weight off by {rel}");
+    }
+
+    #[test]
+    fn off_bundle_edges_shrink_by_roughly_keep_probability() {
+        let g = generators::erdos_renyi(400, 0.3, 1.0, 3);
+        let out = parallel_sample(&g, 0.5, &base_cfg());
+        let off_bundle_total = g.m() - out.stats.bundle_edges_per_round[0];
+        let expected = off_bundle_total as f64 * 0.25;
+        let got = out.sampled_edges as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "sampled {got}, expected ≈ {expected}"
+        );
+        // Overall the output must be smaller than the input for a dense graph.
+        assert!(out.sparsifier.m() < g.m());
+    }
+
+    #[test]
+    fn sampled_edges_are_reweighted_by_inverse_probability() {
+        let g = generators::complete(60, 2.0);
+        let out = parallel_sample(&g, 0.5, &base_cfg());
+        // Every edge weight is either 2.0 (bundle) or 8.0 (kept off-bundle edge).
+        for e in out.sparsifier.edges() {
+            assert!(
+                (e.w - 2.0).abs() < 1e-12 || (e.w - 8.0).abs() < 1e-12,
+                "unexpected weight {}",
+                e.w
+            );
+        }
+        assert_eq!(out.bundle_edges + out.sampled_edges, out.sparsifier.m());
+    }
+
+    #[test]
+    fn output_preserves_connectivity() {
+        // The bundle contains at least one full spanner, which spans the graph.
+        let g = generators::preferential_attachment(300, 5, 1.0, 7);
+        let out = parallel_sample(&g, 0.5, &base_cfg());
+        assert!(is_connected(&out.sparsifier));
+    }
+
+    #[test]
+    fn spectral_quality_is_reasonable_on_dense_graph() {
+        let g = generators::erdos_renyi(200, 0.5, 1.0, 11);
+        let out = parallel_sample(&g, 0.5, &base_cfg().with_bundle_sizing(BundleSizing::Fixed(6)));
+        let bounds = approximation_bounds(&g, &out.sparsifier, &CertifyOptions::default());
+        // With a practical bundle the guarantee is looser than the paper's 1±ε, but the
+        // approximation must still be two-sided and far from degenerate.
+        assert!(bounds.lower > 0.4, "lower bound {}", bounds.lower);
+        assert!(bounds.upper < 2.5, "upper bound {}", bounds.upper);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed_and_independent_of_parallelism() {
+        let g = generators::erdos_renyi(250, 0.2, 1.0, 23);
+        let a = parallel_sample(&g, 0.5, &base_cfg().with_parallel(true));
+        let b = parallel_sample(&g, 0.5, &base_cfg().with_parallel(false));
+        assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+        let c = parallel_sample(&g, 0.5, &base_cfg().with_seed(99));
+        assert_ne!(a.sparsifier.edges(), c.sparsifier.edges());
+    }
+
+    #[test]
+    fn paper_constants_swallow_small_graphs() {
+        // With the paper's t = 24 log²n/ε² the bundle contains every edge of a small
+        // graph, so the output equals the input exactly — the algorithm never harms.
+        let g = generators::erdos_renyi(100, 0.3, 1.0, 2);
+        let cfg = SparsifyConfig::new(0.5, 2.0).with_paper_constants().with_seed(3);
+        let out = parallel_sample(&g, 0.5, &cfg);
+        assert_eq!(out.sparsifier.m(), g.m());
+        assert_eq!(out.sampled_edges, 0);
+    }
+
+    #[test]
+    fn stats_reflect_the_round() {
+        let g = generators::erdos_renyi(200, 0.3, 1.0, 5);
+        let out = parallel_sample(&g, 0.5, &base_cfg());
+        assert_eq!(out.stats.rounds, 1);
+        assert_eq!(out.stats.edges_per_round, vec![g.m()]);
+        assert_eq!(out.stats.bundle_t_per_round, vec![3]);
+        assert_eq!(out.stats.sampling_work, g.m() as u64);
+        assert!(out.stats.spanner_work > 0);
+        assert_eq!(out.t, 3);
+    }
+
+    #[test]
+    fn keep_probability_is_respected() {
+        let g = generators::erdos_renyi(400, 0.3, 1.0, 31);
+        let half = base_cfg().with_keep_probability(0.5);
+        let quarter = base_cfg();
+        let out_half = parallel_sample(&g, 0.5, &half);
+        let out_quarter = parallel_sample(&g, 0.5, &quarter);
+        assert!(out_half.sampled_edges > out_quarter.sampled_edges);
+        // Reweighting factor should be 2x for p = 1/2.
+        let has_2x = out_half
+            .sparsifier
+            .edges()
+            .iter()
+            .any(|e| (e.w - 2.0).abs() < 1e-12);
+        assert!(has_2x);
+    }
+}

@@ -1,0 +1,91 @@
+//! Convenience wrappers for verifying sparsifier quality.
+//!
+//! Experiments and examples repeatedly need the same report: the certified spectral
+//! bounds, the achieved `ε`, and the size reduction. This module packages that into one
+//! call on top of `sgs_linalg::spectral`.
+
+use sgs_graph::Graph;
+use sgs_linalg::spectral::{approximation_bounds, CertifyOptions, SpectralBounds};
+
+/// Summary of a sparsifier-versus-input comparison.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// Certified bounds for `xᵀ L_H x / xᵀ L_G x`.
+    pub bounds: SpectralBounds,
+    /// The smallest `ε` such that the sparsifier is a `(1 ± ε)` approximation.
+    pub achieved_epsilon: f64,
+    /// Edges in the input graph.
+    pub input_edges: usize,
+    /// Edges in the sparsifier.
+    pub output_edges: usize,
+    /// `input_edges / output_edges`.
+    pub compression: f64,
+}
+
+impl VerificationReport {
+    /// True if the sparsifier meets the requested accuracy.
+    pub fn meets(&self, eps: f64) -> bool {
+        self.bounds.within_epsilon(eps)
+    }
+}
+
+impl std::fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "edges {} -> {} ({:.2}x), ratio in [{:.4}, {:.4}], achieved epsilon {:.4}",
+            self.input_edges,
+            self.output_edges,
+            self.compression,
+            self.bounds.lower,
+            self.bounds.upper,
+            self.achieved_epsilon
+        )
+    }
+}
+
+/// Certifies how well `h` spectrally approximates `g`.
+pub fn verify_sparsifier(g: &Graph, h: &Graph, opts: &CertifyOptions) -> VerificationReport {
+    let bounds = approximation_bounds(g, h, opts);
+    VerificationReport {
+        bounds,
+        achieved_epsilon: bounds.epsilon(),
+        input_edges: g.m(),
+        output_edges: h.m(),
+        compression: g.m() as f64 / h.m().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BundleSizing, SparsifyConfig};
+    use crate::sparsify::parallel_sparsify;
+    use sgs_graph::generators;
+
+    #[test]
+    fn report_on_identical_graphs() {
+        let g = generators::erdos_renyi(80, 0.3, 1.0, 3);
+        let r = verify_sparsifier(&g, &g, &CertifyOptions::default());
+        assert!(r.achieved_epsilon < 1e-5);
+        assert!(r.meets(0.01));
+        assert_eq!(r.input_edges, r.output_edges);
+        assert!((r.compression - 1.0).abs() < 1e-12);
+        assert!(r.to_string().contains("edges"));
+    }
+
+    #[test]
+    fn report_on_real_sparsifier() {
+        let g = generators::erdos_renyi(250, 0.4, 1.0, 7);
+        let cfg = SparsifyConfig::new(0.75, 4.0)
+            .with_bundle_sizing(BundleSizing::Fixed(4))
+            .with_seed(3);
+        let out = parallel_sparsify(&g, &cfg);
+        let r = verify_sparsifier(&g, &out.sparsifier, &CertifyOptions::default());
+        assert!(r.compression > 1.5);
+        assert!(r.output_edges < r.input_edges);
+        assert!(r.bounds.lower > 0.0 && r.bounds.upper.is_finite());
+        // A generous accuracy is certainly met; a ridiculous one (1e-6) is not.
+        assert!(!r.meets(1e-6));
+    }
+}

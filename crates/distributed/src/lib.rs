@@ -1,0 +1,34 @@
+//! # sgs-distributed
+//!
+//! A synchronous message-passing (CONGEST-style) simulator and the distributed versions
+//! of the paper's algorithms.
+//!
+//! The paper's distributed claims (Theorem 2, Corollary 3, and the distributed half of
+//! Theorems 4 and 5) are stated in the synchronous distributed model: computation
+//! proceeds in lock-step rounds, in each round every vertex may send one message of
+//! `O(log n)` bits along each incident edge, and the measures of interest are the number
+//! of rounds and the total communication. Reproducing those measures does not require a
+//! physical cluster — it requires an execution environment that *enforces* the
+//! communication discipline and *counts* rounds, messages and bits. That is what
+//! [`network::SyncNetwork`] provides.
+//!
+//! * [`network`] — the simulator: per-edge mailboxes, lock-step round execution, and
+//!   [`network::NetworkMetrics`] accounting.
+//! * [`spanner`] — the distributed Baswana–Sen spanner (Theorem 2): cluster sampling is
+//!   propagated along cluster trees, so an iteration with cluster radius `i` takes
+//!   `O(i)` rounds and the whole construction `O(log² n)` rounds with `O(m log n)`
+//!   messages of `O(log n)` bits.
+//! * [`sparsify`] — the distributed `PARALLELSAMPLE` / `PARALLELSPARSIFY` (Corollary 3 +
+//!   Theorem 5): bundles are built by iterating the distributed spanner on residual
+//!   edges; the uniform sampling step is purely local and costs no communication.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod network;
+pub mod spanner;
+pub mod sparsify;
+
+pub use network::{NetworkMetrics, SyncNetwork};
+pub use spanner::{distributed_spanner, DistSpannerConfig, DistSpannerResult};
+pub use sparsify::{distributed_sample, distributed_sparsify, DistSparsifyResult};

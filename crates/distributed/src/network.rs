@@ -1,0 +1,221 @@
+//! The synchronous message-passing simulator.
+//!
+//! The simulator models the synchronous distributed (CONGEST-style) model used by the
+//! paper: in every round each vertex may send one message along each incident edge;
+//! messages sent in round `r` are delivered at the start of round `r + 1`. The simulator
+//! enforces that messages travel only along edges of the communication graph and keeps
+//! a full account of rounds, messages, and message sizes in bits, which are exactly the
+//! quantities bounded by Theorem 2 and Corollary 3.
+
+use std::collections::HashMap;
+
+use sgs_graph::{Adjacency, Graph, NodeId};
+
+/// Something that can report its own size in bits, for communication accounting.
+///
+/// The paper's bounds talk about messages of `O(log n)` bits; implementations should
+/// count the number of vertex ids / weights / flags they carry.
+pub trait MessageSize {
+    /// Size of the message in bits.
+    fn size_bits(&self) -> usize;
+}
+
+/// Communication metrics accumulated by a [`SyncNetwork`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetworkMetrics {
+    /// Number of synchronous rounds executed.
+    pub rounds: usize,
+    /// Total number of messages delivered.
+    pub messages: u64,
+    /// Total number of bits delivered.
+    pub total_bits: u64,
+    /// Largest single message observed, in bits.
+    pub max_message_bits: usize,
+}
+
+impl NetworkMetrics {
+    /// Merges another metrics record into this one (rounds add up; used when an
+    /// algorithm is composed of phases executed on separate networks).
+    pub fn absorb(&mut self, other: &NetworkMetrics) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.total_bits += other.total_bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+    }
+}
+
+/// A synchronous network over the vertices of a graph.
+///
+/// `M` is the message type. Vertices address each other by [`NodeId`]; sending to a
+/// non-neighbor panics, which keeps algorithm implementations honest about the model.
+#[derive(Debug)]
+pub struct SyncNetwork<M> {
+    adjacency: Adjacency,
+    n: usize,
+    /// Outboxes for the current round, keyed by recipient.
+    outboxes: Vec<Vec<(NodeId, M)>>,
+    /// Inboxes delivered at the start of the current round.
+    inboxes: Vec<Vec<(NodeId, M)>>,
+    /// Fast neighbor lookup for the send-only-to-neighbors check.
+    neighbor_sets: Vec<HashMap<NodeId, ()>>,
+    metrics: NetworkMetrics,
+}
+
+impl<M: MessageSize + Clone> SyncNetwork<M> {
+    /// Builds a network whose topology is the given graph.
+    pub fn new(g: &Graph) -> Self {
+        let adjacency = g.adjacency();
+        let n = g.n();
+        let neighbor_sets = (0..n)
+            .map(|v| {
+                adjacency
+                    .neighbors(v)
+                    .iter()
+                    .map(|nb| (nb.node, ()))
+                    .collect::<HashMap<_, _>>()
+            })
+            .collect();
+        SyncNetwork {
+            adjacency,
+            n,
+            outboxes: vec![Vec::new(); n],
+            inboxes: vec![Vec::new(); n],
+            neighbor_sets,
+            metrics: NetworkMetrics::default(),
+        }
+    }
+
+    /// Number of vertices in the network.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The adjacency view of the communication topology.
+    pub fn adjacency(&self) -> &Adjacency {
+        &self.adjacency
+    }
+
+    /// Queues a message from `from` to its neighbor `to` for delivery next round.
+    ///
+    /// Panics if `to` is not adjacent to `from` — the CONGEST model only allows
+    /// communication along edges.
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
+        assert!(
+            self.neighbor_sets[from].contains_key(&to),
+            "vertex {from} attempted to send to non-neighbor {to}"
+        );
+        let bits = msg.size_bits();
+        self.metrics.messages += 1;
+        self.metrics.total_bits += bits as u64;
+        self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+        self.outboxes[to].push((from, msg));
+    }
+
+    /// Broadcasts a message from `from` to all of its neighbors.
+    pub fn broadcast(&mut self, from: NodeId, msg: M) {
+        let neighbors: Vec<NodeId> =
+            self.adjacency.neighbors(from).iter().map(|nb| nb.node).collect();
+        for to in neighbors {
+            self.send(from, to, msg.clone());
+        }
+    }
+
+    /// Ends the round: all queued messages become next round's inboxes.
+    pub fn advance_round(&mut self) {
+        self.metrics.rounds += 1;
+        for v in 0..self.n {
+            self.inboxes[v] = std::mem::take(&mut self.outboxes[v]);
+        }
+    }
+
+    /// Messages delivered to `v` at the start of the current round.
+    pub fn inbox(&self, v: NodeId) -> &[(NodeId, M)] {
+        &self.inboxes[v]
+    }
+
+    /// Drains the inbox of `v` (avoids cloning when the recipient consumes messages).
+    pub fn take_inbox(&mut self, v: NodeId) -> Vec<(NodeId, M)> {
+        std::mem::take(&mut self.inboxes[v])
+    }
+
+    /// The metrics accumulated so far.
+    pub fn metrics(&self) -> &NetworkMetrics {
+        &self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::generators;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Ping(u64);
+
+    impl MessageSize for Ping {
+        fn size_bits(&self) -> usize {
+            64
+        }
+    }
+
+    #[test]
+    fn messages_are_delivered_next_round() {
+        let g = generators::path(3, 1.0);
+        let mut net: SyncNetwork<Ping> = SyncNetwork::new(&g);
+        net.send(0, 1, Ping(7));
+        assert!(net.inbox(1).is_empty(), "not delivered within the same round");
+        net.advance_round();
+        assert_eq!(net.inbox(1), &[(0, Ping(7))]);
+        net.advance_round();
+        assert!(net.inbox(1).is_empty(), "inbox is cleared after the next round");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn sending_to_non_neighbor_panics() {
+        let g = generators::path(3, 1.0);
+        let mut net: SyncNetwork<Ping> = SyncNetwork::new(&g);
+        net.send(0, 2, Ping(1));
+    }
+
+    #[test]
+    fn metrics_count_messages_rounds_and_bits() {
+        let g = generators::star(5, 1.0);
+        let mut net: SyncNetwork<Ping> = SyncNetwork::new(&g);
+        net.broadcast(0, Ping(1));
+        net.advance_round();
+        for v in 1..5 {
+            assert_eq!(net.inbox(v).len(), 1);
+            net.send(v, 0, Ping(2));
+        }
+        net.advance_round();
+        assert_eq!(net.inbox(0).len(), 4);
+        let m = net.metrics();
+        assert_eq!(m.rounds, 2);
+        assert_eq!(m.messages, 8);
+        assert_eq!(m.total_bits, 8 * 64);
+        assert_eq!(m.max_message_bits, 64);
+    }
+
+    #[test]
+    fn take_inbox_empties_it() {
+        let g = generators::path(2, 1.0);
+        let mut net: SyncNetwork<Ping> = SyncNetwork::new(&g);
+        net.send(1, 0, Ping(3));
+        net.advance_round();
+        let msgs = net.take_inbox(0);
+        assert_eq!(msgs.len(), 1);
+        assert!(net.inbox(0).is_empty());
+    }
+
+    #[test]
+    fn metrics_absorb_adds_up() {
+        let mut a = NetworkMetrics { rounds: 2, messages: 10, total_bits: 640, max_message_bits: 64 };
+        let b = NetworkMetrics { rounds: 3, messages: 5, total_bits: 100, max_message_bits: 20 };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.messages, 15);
+        assert_eq!(a.total_bits, 740);
+        assert_eq!(a.max_message_bits, 64);
+    }
+}

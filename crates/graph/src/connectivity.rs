@@ -1,0 +1,155 @@
+//! Connectivity utilities: union-find and connected components.
+
+use crate::graph::{Graph, NodeId};
+
+/// Union-find (disjoint-set) structure with path halving and union by rank.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the representative of `x` with path halving.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Unions the sets containing `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets currently tracked.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+}
+
+/// Returns, for every vertex, the id of its connected component (component ids are
+/// contiguous and assigned in order of first appearance), plus the component count.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let mut uf = UnionFind::new(g.n());
+    for e in g.edges() {
+        uf.union(e.u, e.v);
+    }
+    let mut label = vec![usize::MAX; g.n()];
+    let mut next = 0usize;
+    for v in 0..g.n() {
+        let r = uf.find(v);
+        if label[r] == usize::MAX {
+            label[r] = next;
+            next += 1;
+        }
+        label[v] = label[r];
+    }
+    (label, next)
+}
+
+/// True if the graph is connected (the empty graph is considered connected).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    let (_, count) = connected_components(g);
+    count == 1
+}
+
+/// Returns the vertices of the largest connected component.
+pub fn largest_component(g: &Graph) -> Vec<NodeId> {
+    if g.n() == 0 {
+        return Vec::new();
+    }
+    let (labels, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    let best = (0..count).max_by_key(|&c| sizes[c]).unwrap_or(0);
+    (0..g.n()).filter(|&v| labels[v] == best).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Graph;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn components_of_disjoint_paths() {
+        let g = Graph::from_tuples(6, vec![(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]).unwrap();
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[0], labels[5]);
+        assert!(!is_connected(&g));
+        let big = largest_component(&g);
+        assert_eq!(big, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn connected_graphs_are_detected() {
+        let g = generators::path(10, 1.0);
+        assert!(is_connected(&g));
+        let g = generators::cycle(10, 1.0);
+        assert!(is_connected(&g));
+        let g = Graph::new(1);
+        assert!(is_connected(&g));
+        let g = Graph::new(0);
+        assert!(is_connected(&g));
+        let g = Graph::new(2);
+        assert!(!is_connected(&g));
+    }
+}

@@ -1,0 +1,144 @@
+//! Plain-text graph I/O.
+//!
+//! The format is a simple, self-describing edge list:
+//!
+//! ```text
+//! # optional comments
+//! n m
+//! u v w
+//! ...
+//! ```
+//!
+//! Vertices are 0-based. The format exists so experiments can be re-run on saved inputs
+//! and so the examples can exchange graphs with external tools.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+
+/// Serializes a graph into the edge-list text format.
+pub fn to_string(g: &Graph) -> String {
+    let mut s = String::with_capacity(32 + 24 * g.m());
+    let _ = writeln!(s, "{} {}", g.n(), g.m());
+    for e in g.edges() {
+        let _ = writeln!(s, "{} {} {}", e.u, e.v, e.w);
+    }
+    s
+}
+
+/// Parses a graph from the edge-list text format.
+pub fn from_str(text: &str) -> Result<Graph> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines
+        .next()
+        .ok_or_else(|| GraphError::Parse("missing header line".into()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .ok_or_else(|| GraphError::Parse("missing n".into()))?
+        .parse()
+        .map_err(|e| GraphError::Parse(format!("bad n: {e}")))?;
+    let m: usize = parts
+        .next()
+        .ok_or_else(|| GraphError::Parse("missing m".into()))?
+        .parse()
+        .map_err(|e| GraphError::Parse(format!("bad m: {e}")))?;
+    let mut g = Graph::with_capacity(n, m);
+    for (i, line) in lines.enumerate() {
+        let mut parts = line.split_whitespace();
+        let u: usize = parts
+            .next()
+            .ok_or_else(|| GraphError::Parse(format!("edge {i}: missing u")))?
+            .parse()
+            .map_err(|e| GraphError::Parse(format!("edge {i}: bad u: {e}")))?;
+        let v: usize = parts
+            .next()
+            .ok_or_else(|| GraphError::Parse(format!("edge {i}: missing v")))?
+            .parse()
+            .map_err(|e| GraphError::Parse(format!("edge {i}: bad v: {e}")))?;
+        let w: f64 = match parts.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| GraphError::Parse(format!("edge {i}: bad w: {e}")))?,
+            None => 1.0,
+        };
+        g.add_edge(u, v, w)?;
+    }
+    if g.m() != m {
+        return Err(GraphError::Parse(format!(
+            "header declared {m} edges but {} were read",
+            g.m()
+        )));
+    }
+    Ok(g)
+}
+
+/// Writes a graph to a file in the edge-list text format.
+pub fn write_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
+    fs::write(path, to_string(g))?;
+    Ok(())
+}
+
+/// Reads a graph from a file in the edge-list text format.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    let text = fs::read_to_string(path)?;
+    from_str(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_preserves_graph() {
+        let g = generators::erdos_renyi_weighted(40, 0.2, 0.5, 3.0, 5);
+        let text = to_string(&g);
+        let h = from_str(&text).unwrap();
+        assert_eq!(g.n(), h.n());
+        assert_eq!(g.m(), h.m());
+        for (a, b) in g.edges().iter().zip(h.edges().iter()) {
+            assert_eq!(a.u, b.u);
+            assert_eq!(a.v, b.v);
+            assert!((a.w - b.w).abs() < 1e-12 * a.w.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn parses_comments_and_default_weight() {
+        let text = "# a comment\n3 2\n0 1\n# another\n1 2 2.5\n";
+        let g = from_str(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.edges()[0].w, 1.0);
+        assert_eq!(g.edges()[1].w, 2.5);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str("").is_err());
+        assert!(from_str("3").is_err());
+        assert!(from_str("3 1\n0 zebra 1.0").is_err());
+        assert!(from_str("3 2\n0 1 1.0").is_err()); // wrong edge count
+        assert!(from_str("2 1\n0 5 1.0").is_err()); // bad vertex
+        assert!(from_str("2 1\n0 1 -3.0").is_err()); // bad weight
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = generators::grid2d(4, 4, 1.0);
+        let dir = std::env::temp_dir().join("sgs_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grid.txt");
+        write_file(&g, &path).unwrap();
+        let h = read_file(&path).unwrap();
+        assert_eq!(g.edges(), h.edges());
+        assert!(read_file(dir.join("missing.txt")).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! # sgs-graph
+//!
+//! Weighted undirected graph substrate for the spectral-sparsification suite that
+//! reproduces Koutis, *Simple Parallel and Distributed Algorithms for Spectral Graph
+//! Sparsification* (SPAA 2014).
+//!
+//! The crate provides:
+//!
+//! * [`Graph`] — an edge-list representation of a weighted undirected multigraph with
+//!   positive weights, the common currency of every algorithm in the workspace.
+//! * [`Adjacency`] — a CSR-style adjacency view built from a [`Graph`], used by
+//!   traversals, spanner constructions and the distributed simulator.
+//! * [`generators`] — reproducible graph families (grids, Erdős–Rényi, random regular,
+//!   preferential attachment, image affinity grids, …) used by examples, tests and the
+//!   benchmark harness.
+//! * [`ops`] — graph algebra (`G₁ + G₂`, `a·G`, edge-set difference) matching the paper's
+//!   notation in Section 2.
+//! * [`stretch`] — stretch computations `st_H(e)` (Section 2, "Stretch") needed to verify
+//!   the spanner guarantees of Theorems 1 and 2.
+//! * [`connectivity`], [`traversal`], [`io`] — supporting utilities.
+//!
+//! All randomized constructions take an explicit seed so that parallel runs are
+//! reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod builder;
+pub mod connectivity;
+pub mod csr;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod metrics;
+pub mod ops;
+pub mod stretch;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::Adjacency;
+pub use error::{GraphError, Result};
+pub use graph::{Edge, EdgeId, Graph, NodeId};
+
+/// Commonly used items, for glob-import convenience in downstream crates.
+pub mod prelude {
+    pub use crate::builder::GraphBuilder;
+    pub use crate::connectivity::{connected_components, is_connected, UnionFind};
+    pub use crate::csr::Adjacency;
+    pub use crate::error::{GraphError, Result};
+    pub use crate::generators;
+    pub use crate::graph::{Edge, EdgeId, Graph, NodeId};
+    pub use crate::metrics::{conductance, cut_weight, degree_stats};
+    pub use crate::ops;
+    pub use crate::stretch::{edge_stretch, max_stretch, stretch_of_all_edges};
+    pub use crate::traversal::{bfs_distances, dijkstra, dijkstra_resistance};
+}

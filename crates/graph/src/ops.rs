@@ -1,0 +1,151 @@
+//! Graph algebra in the sense of Section 2 of the paper.
+//!
+//! Given `G₁ = (V, E, w₁)` and `G₂ = (V, E, w₂)` the paper writes `G₁ + G₂` for the
+//! graph whose weights are added, and `a·G₁` for the graph with scaled weights. Because
+//! we represent graphs as multigraphs, the sum simply concatenates edge lists — which
+//! has exactly the same Laplacian as the weight-added simple graph — and callers may
+//! [`crate::graph::Graph::coalesce`] when a simple graph is preferred.
+
+use crate::error::{GraphError, Result};
+use crate::graph::{EdgeId, Graph};
+
+/// Returns `G₁ + G₂`: the vertex sets must match; edge lists are concatenated, so the
+/// Laplacian of the result is `L_{G₁} + L_{G₂}`.
+pub fn add(g1: &Graph, g2: &Graph) -> Result<Graph> {
+    if g1.n() != g2.n() {
+        return Err(GraphError::SizeMismatch { left: g1.n(), right: g2.n() });
+    }
+    let mut out = Graph::with_capacity(g1.n(), g1.m() + g2.m());
+    for e in g1.edges() {
+        out.push_edge_unchecked(e.u, e.v, e.w);
+    }
+    for e in g2.edges() {
+        out.push_edge_unchecked(e.u, e.v, e.w);
+    }
+    Ok(out)
+}
+
+/// Returns the sum of many graphs over a shared vertex set.
+pub fn sum<'a, I>(graphs: I) -> Result<Graph>
+where
+    I: IntoIterator<Item = &'a Graph>,
+{
+    let mut iter = graphs.into_iter();
+    let first = match iter.next() {
+        Some(g) => g.clone(),
+        None => return Err(GraphError::EmptyGraph),
+    };
+    iter.try_fold(first, |acc, g| add(&acc, g))
+}
+
+/// Returns `a · G`: every edge weight multiplied by `a > 0`.
+pub fn scale(g: &Graph, a: f64) -> Result<Graph> {
+    if !(a.is_finite() && a > 0.0) {
+        return Err(GraphError::NonPositiveWeight { weight: a });
+    }
+    let mut out = Graph::with_capacity(g.n(), g.m());
+    for e in g.edges() {
+        out.push_edge_unchecked(e.u, e.v, e.w * a);
+    }
+    Ok(out)
+}
+
+/// Removes the edges with the given ids from `G`, returning `G − S` (the graph on the
+/// same vertex set with those edges deleted). This is the operation used to peel
+/// successive spanners off a graph when building a t-bundle (Section 3.1).
+pub fn remove_edges(g: &Graph, remove: &[EdgeId]) -> Graph {
+    let mut keep = vec![true; g.m()];
+    for &id in remove {
+        if id < keep.len() {
+            keep[id] = false;
+        }
+    }
+    g.edge_subgraph(&keep)
+}
+
+/// Splits `G` into `(kept, removed)` according to a predicate on edge ids.
+pub fn partition_edges<F>(g: &Graph, mut in_first: F) -> (Graph, Graph)
+where
+    F: FnMut(EdgeId) -> bool,
+{
+    let mut first = Graph::with_capacity(g.n(), g.m());
+    let mut second = Graph::with_capacity(g.n(), g.m());
+    for (id, e) in g.edges().iter().enumerate() {
+        if in_first(id) {
+            first.push_edge_unchecked(e.u, e.v, e.w);
+        } else {
+            second.push_edge_unchecked(e.u, e.v, e.w);
+        }
+    }
+    (first, second)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn add_concatenates_and_preserves_quadratic_form() {
+        let g1 = generators::path(4, 1.0);
+        let g2 = generators::cycle(4, 2.0);
+        let s = add(&g1, &g2).unwrap();
+        assert_eq!(s.m(), g1.m() + g2.m());
+        let x = vec![0.5, -1.0, 2.0, 0.0];
+        let q = g1.quadratic_form(&x) + g2.quadratic_form(&x);
+        assert!((s.quadratic_form(&x) - q).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_rejects_mismatched_sizes() {
+        let g1 = generators::path(3, 1.0);
+        let g2 = generators::path(4, 1.0);
+        assert!(matches!(add(&g1, &g2), Err(GraphError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn sum_of_many() {
+        let gs: Vec<_> = (1..=3).map(|i| generators::path(5, i as f64)).collect();
+        let s = sum(gs.iter()).unwrap();
+        assert_eq!(s.m(), 3 * 4);
+        let x = vec![1.0, 0.0, 0.0, 0.0, -1.0];
+        let q: f64 = gs.iter().map(|g| g.quadratic_form(&x)).sum();
+        assert!((s.quadratic_form(&x) - q).abs() < 1e-12);
+        let empty: Vec<&Graph> = Vec::new();
+        assert!(matches!(sum(empty), Err(GraphError::EmptyGraph)));
+    }
+
+    #[test]
+    fn scale_multiplies_quadratic_form() {
+        let g = generators::cycle(6, 1.5);
+        let s = scale(&g, 4.0).unwrap();
+        let x: Vec<f64> = (0..6).map(|i| (i as f64).sin()).collect();
+        assert!((s.quadratic_form(&x) - 4.0 * g.quadratic_form(&x)).abs() < 1e-9);
+        assert!(scale(&g, 0.0).is_err());
+        assert!(scale(&g, -1.0).is_err());
+        assert!(scale(&g, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn remove_edges_peels_subgraph() {
+        let g = generators::complete(4, 1.0); // 6 edges
+        let r = remove_edges(&g, &[0, 2, 4]);
+        assert_eq!(r.m(), 3);
+        // removing an out-of-range id is a no-op
+        let r2 = remove_edges(&g, &[100]);
+        assert_eq!(r2.m(), 6);
+    }
+
+    #[test]
+    fn partition_splits_exactly() {
+        let g = generators::complete(5, 1.0); // 10 edges
+        let (a, b) = partition_edges(&g, |id| id % 2 == 0);
+        assert_eq!(a.m() + b.m(), g.m());
+        assert_eq!(a.m(), 5);
+        // Quadratic forms add back up.
+        let x: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        assert!(
+            (a.quadratic_form(&x) + b.quadratic_form(&x) - g.quadratic_form(&x)).abs() < 1e-9
+        );
+    }
+}

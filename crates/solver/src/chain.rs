@@ -1,0 +1,431 @@
+//! The Peng–Spielman approximate inverse chain with `PARALLELSPARSIFY` inside.
+//!
+//! For `M = D − A` (with `D = degrees + excess`, `A ≥ 0` the adjacency of the level's
+//! graph) the identity
+//!
+//! ```text
+//! (D − A)⁻¹ = ½ [ D⁻¹ + (I + D⁻¹ A)(D − A D⁻¹ A)⁻¹(I + A D⁻¹) ]
+//! ```
+//!
+//! reduces a solve with `M` to a solve with `M̃ = D − A D⁻¹ A`. The graph of `M̃` is a
+//! union of per-vertex cliques (every pair of neighbors of `v` becomes an edge of weight
+//! `a_uv a_vw / d_v`); materialising those cliques would be quadratic in the degrees, so
+//! high-degree cliques are replaced by sparse unbiased samples (the Corollary 6.4 step
+//! of Peng–Spielman), and the result is then sparsified with `PARALLELSPARSIFY` — this
+//! is precisely where Section 4 of the paper plugs its new sparsifier into the
+//! framework. The recursion stops when the level is strongly diagonally dominant, where
+//! a handful of Jacobi sweeps is an adequate (and linear, hence PCG-safe) base solver.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
+use sgs_graph::{Graph, GraphBuilder};
+use sgs_linalg::cg::Preconditioner;
+
+use crate::sdd::GroundedLaplacian;
+
+/// Configuration for building an approximate inverse chain.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Per-level sparsification accuracy (the paper sets `ε = 1/O(log κ)`; the default
+    /// is a practical fixed value which the experiments sweep).
+    pub level_epsilon: f64,
+    /// Sparsification factor `ρ` used when a level grows too dense.
+    pub rho: f64,
+    /// Bundle sizing for the inner `PARALLELSPARSIFY` calls.
+    pub bundle_sizing: BundleSizing,
+    /// Maximum chain depth.
+    pub max_levels: usize,
+    /// Stop recursing once `min(excess_i / degree_i)` exceeds this ratio (strong
+    /// diagonal dominance: Jacobi converges geometrically).
+    pub dominance_stop: f64,
+    /// Number of Jacobi sweeps used by the base-case solver.
+    pub base_jacobi_sweeps: usize,
+    /// Degree above which a level-construction clique is sampled instead of built
+    /// exactly.
+    pub clique_sample_threshold: usize,
+    /// Seed for clique sampling and sparsification.
+    pub seed: u64,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            level_epsilon: 0.5,
+            rho: 4.0,
+            bundle_sizing: BundleSizing::Fixed(3),
+            max_levels: 25,
+            dominance_stop: 4.0,
+            base_jacobi_sweeps: 12,
+            clique_sample_threshold: 16,
+            seed: 0x50D5,
+        }
+    }
+}
+
+/// One level of the chain: the operator `M_i = L(graph) + diag(excess)`, stored with its
+/// full diagonal for fast application.
+#[derive(Debug, Clone)]
+pub struct ChainLevel {
+    /// The level's graph (off-diagonal part).
+    pub graph: Graph,
+    /// Diagonal excess of the level.
+    pub excess: Vec<f64>,
+    /// Cached full diagonal `degrees + excess`.
+    pub diagonal: Vec<f64>,
+}
+
+impl ChainLevel {
+    fn new(graph: Graph, excess: Vec<f64>) -> Self {
+        let diagonal: Vec<f64> = graph
+            .weighted_degrees()
+            .iter()
+            .zip(&excess)
+            .map(|(d, e)| d + e)
+            .collect();
+        ChainLevel { graph, excess, diagonal }
+    }
+
+    /// Adjacency application `y = A x` (off-diagonal only, positive weights).
+    fn adjacency_apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.graph.n()];
+        for e in self.graph.edges() {
+            y[e.u] += e.w * x[e.v];
+            y[e.v] += e.w * x[e.u];
+        }
+        y
+    }
+
+    /// Full operator application `y = (D − A) x = L x + excess .* x`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.graph.laplacian_apply(x);
+        for ((yi, xi), ei) in y.iter_mut().zip(x).zip(&self.excess) {
+            *yi += ei * xi;
+        }
+        y
+    }
+
+    /// Ratio `min_v excess_v / degree_v` (∞ when the graph has no edges); the dominance
+    /// measure that terminates the chain.
+    fn dominance(&self) -> f64 {
+        let deg = self.graph.weighted_degrees();
+        let mut worst = f64::INFINITY;
+        for (d, e) in deg.iter().zip(&self.excess) {
+            if *d > 0.0 {
+                worst = worst.min(e / d);
+            }
+        }
+        worst
+    }
+}
+
+/// The approximate inverse chain `{M₁, …, M_d}` plus the parameters needed to apply it.
+#[derive(Debug, Clone)]
+pub struct Chain {
+    levels: Vec<ChainLevel>,
+    config: ChainConfig,
+}
+
+impl Chain {
+    /// Builds the chain for a grounded Laplacian.
+    pub fn build(system: &GroundedLaplacian, config: &ChainConfig) -> Self {
+        let mut levels = Vec::new();
+        let mut current = ChainLevel::new(system.graph().clone(), system.excess().to_vec());
+        let n = system.n();
+        let target_edges =
+            (2.0 * n as f64 * (n.max(2) as f64).log2()).ceil() as usize;
+        for level_idx in 0..config.max_levels {
+            let done = current.dominance() >= config.dominance_stop
+                || current.graph.m() == 0
+                || level_idx + 1 == config.max_levels;
+            if done {
+                levels.push(current);
+                break;
+            }
+            let next = build_next_level(&current, config, level_idx, target_edges);
+            levels.push(current);
+            current = next;
+        }
+        Chain { levels, config: config.clone() }
+    }
+
+    /// Number of levels in the chain.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The levels of the chain.
+    pub fn levels(&self) -> &[ChainLevel] {
+        &self.levels
+    }
+
+    /// Total number of edges stored across all levels (the chain-size quantity that
+    /// Theorem 6 bounds).
+    pub fn total_edges(&self) -> usize {
+        self.levels.iter().map(|l| l.graph.m()).sum()
+    }
+
+    /// Applies the approximate inverse of the top-level operator to `b`.
+    pub fn apply_inverse(&self, b: &[f64]) -> Vec<f64> {
+        self.apply_inverse_from(0, b)
+    }
+
+    fn apply_inverse_from(&self, level: usize, b: &[f64]) -> Vec<f64> {
+        let lvl = &self.levels[level];
+        if level + 1 == self.levels.len() {
+            return jacobi_sweeps(lvl, b, self.config.base_jacobi_sweeps);
+        }
+        // x = 1/2 [ D^{-1} b + (I + D^{-1} A) M̃^{-1} (I + A D^{-1}) b ]
+        let d_inv_b: Vec<f64> = b.iter().zip(&lvl.diagonal).map(|(bi, di)| bi / di).collect();
+        let a_dinv_b = lvl.adjacency_apply(&d_inv_b);
+        let y: Vec<f64> = b.iter().zip(&a_dinv_b).map(|(bi, ai)| bi + ai).collect();
+        let z = self.apply_inverse_from(level + 1, &y);
+        let a_z = lvl.adjacency_apply(&z);
+        let x2: Vec<f64> = z
+            .iter()
+            .zip(a_z.iter().zip(&lvl.diagonal))
+            .map(|(zi, (azi, di))| zi + azi / di)
+            .collect();
+        d_inv_b
+            .iter()
+            .zip(&x2)
+            .map(|(a, b)| 0.5 * (a + b))
+            .collect()
+    }
+}
+
+impl Preconditioner for Chain {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let out = self.apply_inverse(r);
+        z.copy_from_slice(&out);
+    }
+}
+
+/// A fixed number of Jacobi sweeps for `M x = b`; a linear operator in `b`, which makes
+/// it safe to use inside a (non-flexible) PCG iteration.
+fn jacobi_sweeps(level: &ChainLevel, b: &[f64], sweeps: usize) -> Vec<f64> {
+    let n = b.len();
+    let mut x: Vec<f64> = b.iter().zip(&level.diagonal).map(|(bi, di)| bi / di).collect();
+    for _ in 0..sweeps {
+        // x ← D⁻¹ (b + A x)
+        let ax = level.adjacency_apply(&x);
+        for i in 0..n {
+            x[i] = (b[i] + ax[i]) / level.diagonal[i];
+        }
+    }
+    x
+}
+
+/// Builds level `i + 1` from level `i`: the two-hop graph of `M̃ = D − A D⁻¹ A`
+/// (cliques, sampled above the degree threshold), its diagonal excess, and a
+/// `PARALLELSPARSIFY` pass when the graph grows beyond the target size.
+fn build_next_level(
+    level: &ChainLevel,
+    config: &ChainConfig,
+    level_idx: usize,
+    target_edges: usize,
+) -> ChainLevel {
+    let n = level.graph.n();
+    let adj = level.graph.adjacency();
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(level_idx as u64 * 0xC11A));
+    let mut builder = GraphBuilder::new(n);
+
+    for v in 0..n {
+        let neighbors = adj.neighbors(v);
+        let deg = neighbors.len();
+        if deg < 2 {
+            continue;
+        }
+        let dv = level.diagonal[v];
+        if deg <= config.clique_sample_threshold {
+            // Exact clique.
+            for i in 0..deg {
+                for j in (i + 1)..deg {
+                    let (a, b) = (&neighbors[i], &neighbors[j]);
+                    if a.node == b.node {
+                        continue;
+                    }
+                    let w = a.weight * b.weight / dv;
+                    if w > 0.0 {
+                        let _ = builder.add(a.node, b.node, w);
+                    }
+                }
+            }
+        } else {
+            // Sparse unbiased approximation of the clique: sample endpoint pairs with
+            // probability proportional to their weights and spread the clique's total
+            // weight uniformly over the accepted samples.
+            let total_w: f64 = neighbors.iter().map(|nb| nb.weight).sum();
+            let sum_sq: f64 = neighbors.iter().map(|nb| nb.weight * nb.weight).sum();
+            let clique_weight = (total_w * total_w - sum_sq) / (2.0 * dv);
+            if clique_weight <= 0.0 {
+                continue;
+            }
+            let samples =
+                ((deg as f64) * (deg as f64).log2().max(1.0) * 2.0).ceil() as usize;
+            // Cumulative distribution over neighbors, proportional to weight.
+            let mut cumulative = Vec::with_capacity(deg);
+            let mut acc = 0.0;
+            for nb in neighbors {
+                acc += nb.weight;
+                cumulative.push(acc);
+            }
+            let draw = |rng: &mut ChaCha8Rng| -> usize {
+                let x = rng.gen_range(0.0..acc);
+                cumulative.partition_point(|&c| c < x).min(deg - 1)
+            };
+            let mut accepted = Vec::with_capacity(samples);
+            for _ in 0..samples {
+                let i = draw(&mut rng);
+                let j = draw(&mut rng);
+                if i != j && neighbors[i].node != neighbors[j].node {
+                    accepted.push((neighbors[i].node, neighbors[j].node));
+                }
+            }
+            if accepted.is_empty() {
+                continue;
+            }
+            let w_each = clique_weight / accepted.len() as f64;
+            for (a, b) in accepted {
+                let _ = builder.add(a, b, w_each);
+            }
+        }
+    }
+    let two_hop = builder.build();
+
+    // Exact diagonal excess of M̃: excess_u = D_u − Σ_v a_uv (Σ_w a_vw) / D_v.
+    let a_row_sums = level.graph.weighted_degrees();
+    let ratio: Vec<f64> = a_row_sums
+        .iter()
+        .zip(&level.diagonal)
+        .map(|(s, d)| if *d > 0.0 { s / d } else { 0.0 })
+        .collect();
+    let a_ratio = level.adjacency_apply(&ratio);
+    let excess: Vec<f64> = level
+        .diagonal
+        .iter()
+        .zip(&a_ratio)
+        .map(|(d, ar)| (d - ar).max(0.0))
+        .collect();
+
+    // Sparsify the two-hop graph when it exceeds the target size (the Section 4 step:
+    // "bring the graph back to its original size" using Theorem 5).
+    let graph = if two_hop.m() > target_edges {
+        let cfg = SparsifyConfig::new(config.level_epsilon, config.rho)
+            .with_bundle_sizing(config.bundle_sizing)
+            .with_seed(config.seed.wrapping_add(0xF00D + level_idx as u64));
+        parallel_sparsify(&two_hop, &cfg).sparsifier
+    } else {
+        two_hop
+    };
+
+    ChainLevel::new(graph, excess)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::generators;
+    use sgs_linalg::vector;
+
+    #[test]
+    fn chain_has_bounded_depth_and_size() {
+        let g = generators::erdos_renyi(300, 0.1, 1.0, 3);
+        let system = GroundedLaplacian::from_graph(g);
+        let chain = Chain::build(&system, &ChainConfig::default());
+        assert!(chain.depth() >= 1);
+        assert!(chain.depth() <= 25);
+        assert!(chain.total_edges() > 0);
+    }
+
+    #[test]
+    fn two_hop_level_has_nonnegative_excess_and_more_dominance() {
+        let g = generators::grid2d(10, 10, 1.0);
+        let system = GroundedLaplacian::from_graph(g);
+        let chain = Chain::build(&system, &ChainConfig::default());
+        for level in chain.levels() {
+            assert!(level.excess.iter().all(|&e| e >= 0.0));
+        }
+        if chain.depth() >= 2 {
+            let d0 = chain.levels()[0].dominance();
+            let dl = chain.levels()[chain.depth() - 1].dominance();
+            assert!(dl >= d0, "dominance should not decrease along the chain: {d0} -> {dl}");
+        }
+    }
+
+    #[test]
+    fn apply_inverse_is_a_positive_definite_preconditioner() {
+        // PCG requires the preconditioner to be a symmetric positive-definite linear
+        // map; we check positivity of bᵀ P b on a batch of right-hand sides and that the
+        // map is linear (it is built only from linear operations).
+        let g = generators::erdos_renyi(200, 0.15, 1.0, 7);
+        let system = GroundedLaplacian::from_graph(g);
+        let chain = Chain::build(&system, &ChainConfig::default());
+        let n = system.n();
+        for seed in 0..5u64 {
+            let b = vector::random_unit_orthogonal(n, seed);
+            let x = chain.apply_inverse(&b);
+            assert!(x.iter().all(|v| v.is_finite()));
+            let btx = vector::dot(&b, &x);
+            assert!(btx > 0.0, "preconditioner must be positive definite, got {btx}");
+        }
+        // Linearity: P(2a - b) = 2 P(a) - P(b).
+        let a = vector::random_unit_orthogonal(n, 101);
+        let b = vector::random_unit_orthogonal(n, 102);
+        let combo: Vec<f64> = a.iter().zip(&b).map(|(x, y)| 2.0 * x - y).collect();
+        let pa = chain.apply_inverse(&a);
+        let pb = chain.apply_inverse(&b);
+        let pc = chain.apply_inverse(&combo);
+        for i in 0..n {
+            let lin = 2.0 * pa[i] - pb[i];
+            assert!((pc[i] - lin).abs() < 1e-9 * (1.0 + lin.abs()));
+        }
+    }
+
+    #[test]
+    fn jacobi_base_case_is_linear() {
+        let g = generators::path(30, 1.0);
+        let mut excess = vec![0.0; 30];
+        for e in excess.iter_mut() {
+            *e = 3.0; // strongly dominant
+        }
+        let level = ChainLevel::new(g, excess);
+        let b1: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let b2: Vec<f64> = (0..30).map(|i| (i as f64 * 0.3).cos()).collect();
+        let x1 = jacobi_sweeps(&level, &b1, 8);
+        let x2 = jacobi_sweeps(&level, &b2, 8);
+        let combined: Vec<f64> = b1.iter().zip(&b2).map(|(a, b)| 2.0 * a - 0.5 * b).collect();
+        let x_combined = jacobi_sweeps(&level, &combined, 8);
+        for i in 0..30 {
+            let lin = 2.0 * x1[i] - 0.5 * x2[i];
+            assert!((x_combined[i] - lin).abs() < 1e-10, "Jacobi base case must be linear");
+        }
+    }
+
+    #[test]
+    fn strongly_dominant_systems_terminate_immediately() {
+        let g = generators::cycle(20, 1.0);
+        let excess = vec![10.0; 20];
+        let system = GroundedLaplacian::from_graph_with_excess(g, excess);
+        let chain = Chain::build(&system, &ChainConfig::default());
+        assert_eq!(chain.depth(), 1);
+    }
+
+    #[test]
+    fn dense_levels_are_sparsified() {
+        // A dense input: the two-hop graph would be denser still; the chain must keep
+        // level sizes in check via PARALLELSPARSIFY.
+        let g = generators::erdos_renyi(200, 0.3, 1.0, 9);
+        let m_in = g.m();
+        let system = GroundedLaplacian::from_graph(g);
+        let chain = Chain::build(&system, &ChainConfig::default());
+        for (i, level) in chain.levels().iter().enumerate().skip(1) {
+            assert!(
+                level.graph.m() <= 3 * m_in,
+                "level {i} blew up: {} edges vs input {m_in}",
+                level.graph.m()
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # sgs-solver
+//!
+//! A parallel SDD linear-system solver in the style of Section 4 of the paper: the
+//! Peng–Spielman approximate-inverse-chain framework with `PARALLELSPARSIFY` plugged in
+//! as the sparsification routine (Theorem 6).
+//!
+//! * [`sdd`] — representation of SDD systems as *grounded Laplacians*: a weighted graph
+//!   plus a non-negative diagonal excess. General SDD matrices with non-positive
+//!   off-diagonals map onto this form directly; singular Laplacian systems are grounded
+//!   at one vertex, which pins the solution representative with `x₀ = 0`.
+//! * [`chain`] — the approximate inverse chain `{M₁, M₂, …, M_d}`: each level reduces
+//!   `M = D − A` to `D − A D⁻¹ A` (whose graph is a union of per-vertex cliques, built
+//!   sparsely), then sparsifies that graph with `PARALLELSPARSIFY`. The chain applies
+//!   `M⁻¹` approximately via the Peng–Spielman identity
+//!   `(D − A)⁻¹ = ½ [D⁻¹ + (I + D⁻¹A)(D − A D⁻¹ A)⁻¹(I + A D⁻¹)]`.
+//! * [`solve`] — the user-facing [`solve::SddSolver`]: preconditioned conjugate gradient
+//!   on the original system with the chain as preconditioner, plus reference solvers
+//!   (plain CG, Jacobi-PCG) for the comparison experiments (E8).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chain;
+pub mod sdd;
+pub mod solve;
+
+pub use chain::{Chain, ChainConfig, ChainLevel};
+pub use sdd::GroundedLaplacian;
+pub use solve::{SddSolver, SolveOutcome, SolverConfig, SolverMethod};

@@ -1,0 +1,227 @@
+//! SDD systems as grounded Laplacians.
+//!
+//! Every SDD matrix with non-positive off-diagonal entries can be written as
+//! `M = L(G) + diag(excess)` where `G` is a weighted graph and `excess ≥ 0` is the
+//! diagonal slack (`M_ii − Σ_j≠i |M_ij|`). If some component of `G` has no positive
+//! excess the matrix is singular on that component (it is a pure Laplacian there); we
+//! then *ground* one vertex by adding artificial excess, which pins the solution
+//! representative whose value at that vertex is zero — the standard way of making
+//! Laplacian systems positive definite without changing the answer for compatible
+//! right-hand sides.
+
+use sgs_graph::{connectivity::connected_components, Graph};
+use sgs_linalg::cg::LinearOperator;
+use sgs_linalg::csr::CsrMatrix;
+use sgs_linalg::laplacian::graph_from_sdd;
+
+/// A positive-definite SDD operator `M = L(G) + diag(excess)`.
+#[derive(Debug, Clone)]
+pub struct GroundedLaplacian {
+    graph: Graph,
+    excess: Vec<f64>,
+    grounded_vertices: Vec<usize>,
+}
+
+impl GroundedLaplacian {
+    /// Wraps a connected-or-not graph Laplacian, grounding one vertex per component so
+    /// the operator is positive definite.
+    pub fn from_graph(graph: Graph) -> Self {
+        let excess = vec![0.0; graph.n()];
+        Self::from_graph_with_excess(graph, excess)
+    }
+
+    /// Wraps `L(G) + diag(excess)`, grounding one vertex in every component whose excess
+    /// is identically zero.
+    pub fn from_graph_with_excess(graph: Graph, mut excess: Vec<f64>) -> Self {
+        assert_eq!(excess.len(), graph.n(), "excess length must equal vertex count");
+        assert!(excess.iter().all(|&e| e >= -1e-12), "excess must be non-negative");
+        for e in excess.iter_mut() {
+            if *e < 0.0 {
+                *e = 0.0;
+            }
+        }
+        let (labels, count) = connected_components(&graph);
+        let degrees = graph.weighted_degrees();
+        let mut has_excess = vec![false; count];
+        for (v, &e) in excess.iter().enumerate() {
+            if e > 1e-12 {
+                has_excess[labels[v]] = true;
+            }
+        }
+        let mut grounded_vertices = Vec::new();
+        // Ground the first vertex of each all-zero-excess component with a resistor
+        // comparable to its degree (good conditioning, exactness for b ⟂ 1 per
+        // component).
+        let mut grounded_component = vec![false; count];
+        for v in 0..graph.n() {
+            let c = labels[v];
+            if !has_excess[c] && !grounded_component[c] {
+                let w = if degrees[v] > 0.0 { degrees[v] } else { 1.0 };
+                excess[v] += w;
+                grounded_component[c] = true;
+                grounded_vertices.push(v);
+            }
+        }
+        GroundedLaplacian { graph, excess, grounded_vertices }
+    }
+
+    /// Builds a grounded Laplacian from an explicit SDD matrix (non-positive
+    /// off-diagonals). Returns `None` if the matrix is not SDD in that form.
+    pub fn from_sdd_matrix(m: &CsrMatrix) -> Option<Self> {
+        let (graph, excess) = graph_from_sdd(m, 1e-9).ok()?;
+        Some(Self::from_graph_with_excess(graph, excess))
+    }
+
+    /// The underlying graph (the negated off-diagonal part).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The diagonal excess (including any grounding added by the constructor).
+    pub fn excess(&self) -> &[f64] {
+        &self.excess
+    }
+
+    /// Vertices that received artificial grounding. The solution returned by the solver
+    /// is the representative that is zero at these vertices.
+    pub fn grounded_vertices(&self) -> &[usize] {
+        &self.grounded_vertices
+    }
+
+    /// The full diagonal `D = degrees + excess`.
+    pub fn diagonal(&self) -> Vec<f64> {
+        self.graph
+            .weighted_degrees()
+            .iter()
+            .zip(&self.excess)
+            .map(|(d, e)| d + e)
+            .collect()
+    }
+
+    /// Number of rows/columns.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Number of structural non-zeros below/above the diagonal (graph edges).
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    /// `y = M x = L(G) x + excess .* x`.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = self.graph.laplacian_apply(x);
+        for ((yi, xi), ei) in y.iter_mut().zip(x).zip(&self.excess) {
+            *yi += ei * xi;
+        }
+        y
+    }
+
+    /// Quadratic form `xᵀ M x`.
+    pub fn quadratic_form(&self, x: &[f64]) -> f64 {
+        let y = self.apply(x);
+        x.iter().zip(&y).map(|(a, b)| a * b).sum()
+    }
+}
+
+impl LinearOperator for GroundedLaplacian {
+    fn dim(&self) -> usize {
+        self.n()
+    }
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        let out = self.apply(x);
+        y.copy_from_slice(&out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::generators;
+
+    #[test]
+    fn pure_laplacian_gets_grounded_once_per_component() {
+        let g = generators::cycle(10, 1.0);
+        let gl = GroundedLaplacian::from_graph(g);
+        assert_eq!(gl.grounded_vertices().len(), 1);
+        assert!(gl.excess().iter().filter(|&&e| e > 0.0).count() == 1);
+        // Two components -> two grounds.
+        let mut two = Graph::new(6);
+        two.add_edge(0, 1, 1.0).unwrap();
+        two.add_edge(1, 2, 1.0).unwrap();
+        two.add_edge(3, 4, 1.0).unwrap();
+        two.add_edge(4, 5, 1.0).unwrap();
+        let gl = GroundedLaplacian::from_graph(two);
+        assert_eq!(gl.grounded_vertices().len(), 2);
+    }
+    use sgs_graph::Graph;
+
+    #[test]
+    fn excess_systems_are_not_grounded_again() {
+        let g = generators::path(5, 1.0);
+        let excess = vec![0.5, 0.0, 0.0, 0.0, 0.0];
+        let gl = GroundedLaplacian::from_graph_with_excess(g, excess.clone());
+        assert!(gl.grounded_vertices().is_empty());
+        assert_eq!(gl.excess(), &excess[..]);
+    }
+
+    #[test]
+    fn apply_matches_matrix_form() {
+        let g = generators::grid2d(4, 4, 1.5);
+        let excess: Vec<f64> = (0..16).map(|i| (i % 3) as f64 * 0.2).collect();
+        let gl = GroundedLaplacian::from_graph_with_excess(g.clone(), excess.clone());
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y = gl.apply(&x);
+        let mut expected = g.laplacian_apply(&x);
+        for (i, e) in expected.iter_mut().enumerate() {
+            *e += excess[i] * x[i];
+        }
+        for (a, b) in y.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Quadratic form is positive on non-zero vectors (PD after grounding/excess).
+        assert!(gl.quadratic_form(&x) > 0.0);
+        let ones = vec![1.0; 16];
+        assert!(gl.quadratic_form(&ones) > 0.0, "grounded system is PD even on constants");
+    }
+
+    #[test]
+    fn from_sdd_matrix_round_trip() {
+        let g = generators::erdos_renyi(30, 0.2, 1.0, 3);
+        let mut triplets = Vec::new();
+        let deg = g.weighted_degrees();
+        for (i, &d) in deg.iter().enumerate() {
+            triplets.push((i, i, d + if i == 0 { 2.0 } else { 0.0 }));
+        }
+        for e in g.edges() {
+            triplets.push((e.u, e.v, -e.w));
+            triplets.push((e.v, e.u, -e.w));
+        }
+        let m = CsrMatrix::from_triplets(30, &triplets);
+        let gl = GroundedLaplacian::from_sdd_matrix(&m).expect("valid SDD matrix");
+        assert!((gl.excess()[0] - 2.0).abs() < 1e-9);
+        let x: Vec<f64> = (0..30).map(|i| i as f64 / 30.0).collect();
+        let y1 = gl.apply(&x);
+        let y2 = m.apply(&x);
+        // Grounding may add excess to singular components; here component of vertex 0
+        // already has excess, so no extra grounding should have occurred if connected.
+        if sgs_graph::connectivity::is_connected(gl.graph()) {
+            for (a, b) in y1.iter().zip(&y2) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn non_sdd_matrix_is_rejected() {
+        let m = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, -5.0), (1, 0, -5.0)]);
+        assert!(GroundedLaplacian::from_sdd_matrix(&m).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "excess")]
+    fn negative_excess_is_rejected() {
+        let g = generators::path(3, 1.0);
+        let _ = GroundedLaplacian::from_graph_with_excess(g, vec![-1.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,452 @@
+//! The Baswana–Sen randomized spanner construction.
+//!
+//! Reference: S. Baswana and S. Sen, *A simple and linear time randomized algorithm for
+//! computing sparse spanners in weighted graphs*, Random Structures & Algorithms 2007
+//! (reference [1] of the paper). The algorithm computes a `(2k − 1)`-spanner with
+//! `O(k · n^{1 + 1/k})` edges in expectation via `k − 1` rounds of randomized cluster
+//! growing followed by a vertex–cluster joining phase.
+//!
+//! With `k = ⌈log₂ n⌉` the expected size is `O(n log n)` and the stretch is below
+//! `2 log₂ n`, which is exactly the "spanner" object of the paper (Theorem 1). The
+//! per-vertex decisions inside one round depend only on the previous round's clustering
+//! and on each vertex's own incident edges, so they parallelise trivially — this is the
+//! CRCW PRAM adaptation the paper leans on (Corollary 2), realised here with rayon.
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+use sgs_graph::{EdgeId, Graph, NodeId};
+
+/// Configuration for the Baswana–Sen construction.
+#[derive(Debug, Clone)]
+pub struct SpannerConfig {
+    /// Stretch parameter `k`; the spanner has stretch `2k − 1`. Defaults to
+    /// `⌈log₂ n⌉` when `None`, matching the paper's `log n`-spanner.
+    pub k: Option<usize>,
+    /// RNG seed; cluster sampling is the only source of randomness.
+    pub seed: u64,
+    /// Process vertices of each round in parallel with rayon.
+    pub parallel: bool,
+}
+
+impl Default for SpannerConfig {
+    fn default() -> Self {
+        SpannerConfig { k: None, seed: 0xBA5EBA11, parallel: true }
+    }
+}
+
+impl SpannerConfig {
+    /// Config with an explicit seed.
+    pub fn with_seed(seed: u64) -> Self {
+        SpannerConfig { seed, ..Default::default() }
+    }
+
+    /// Overrides the stretch parameter `k`.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Enables or disables rayon parallelism.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+}
+
+/// Result of a spanner construction.
+#[derive(Debug, Clone)]
+pub struct SpannerResult {
+    /// Ids (into the input graph / edge view) of the edges kept in the spanner,
+    /// deduplicated and sorted.
+    pub edge_ids: Vec<EdgeId>,
+    /// Number of clustering rounds executed (`k − 1` plus the joining phase).
+    pub rounds: usize,
+    /// Work counter: total number of edge examinations across all rounds. Experiment E1
+    /// compares this against the `O(m log n)` bound of Theorem 1.
+    pub work: u64,
+}
+
+impl SpannerResult {
+    /// Materialises the spanner as a graph over the same vertex set as `g`.
+    pub fn to_graph(&self, g: &Graph) -> Graph {
+        g.with_edge_ids(&self.edge_ids)
+    }
+}
+
+/// A lightweight edge view: `(original id, u, v, w)`. The bundle construction feeds
+/// progressively smaller views into the same spanner code without copying graphs.
+pub type EdgeView = (EdgeId, NodeId, NodeId, f64);
+
+/// Computes a Baswana–Sen spanner of `g`.
+pub fn baswana_sen_spanner(g: &Graph, cfg: &SpannerConfig) -> SpannerResult {
+    let view: Vec<EdgeView> = g
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(id, e)| (id, e.u, e.v, e.w))
+        .collect();
+    baswana_sen_on_view(g.n(), &view, cfg)
+}
+
+/// Per-vertex decision computed within one clustering round.
+#[derive(Debug, Default, Clone)]
+struct Decision {
+    new_center: Option<NodeId>,
+    became_unclustered: bool,
+    add: Vec<usize>,
+    kill: Vec<usize>,
+    work: u64,
+}
+
+/// Computes a Baswana–Sen spanner over an explicit edge view on `n` vertices.
+///
+/// Returns original edge ids (the first component of each view entry).
+pub fn baswana_sen_on_view(n: usize, view: &[EdgeView], cfg: &SpannerConfig) -> SpannerResult {
+    let m = view.len();
+    let k = cfg.k.unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize).max(1);
+    if n <= 2 || k <= 1 || m == 0 {
+        // Stretch-1 spanner (or trivial graph): keep everything.
+        let mut ids: Vec<EdgeId> = view.iter().map(|&(id, _, _, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        return SpannerResult { edge_ids: ids, rounds: 0, work: m as u64 };
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let sample_prob = (n as f64).powf(-1.0 / k as f64);
+
+    // Incidence lists over the view (indices into `view`).
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (idx, &(_, u, v, _)) in view.iter().enumerate() {
+        incident[u].push(idx);
+        incident[v].push(idx);
+    }
+
+    let mut center: Vec<Option<NodeId>> = (0..n).map(Some).collect();
+    let mut alive = vec![true; m];
+    let mut in_spanner = vec![false; m];
+    let mut total_work = 0u64;
+    let mut rounds = 0usize;
+
+    for _round in 1..k {
+        rounds += 1;
+        // Sample cluster centers for this round.
+        let sampled: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < sample_prob).collect();
+
+        let process = |v: NodeId| -> Option<Decision> {
+            let c_v = center[v]?;
+            if sampled[c_v] {
+                // Vertices in sampled clusters carry over unchanged.
+                return None;
+            }
+            let mut dec = Decision { new_center: None, ..Default::default() };
+            // Group alive incident edges by the cluster of the other endpoint. A BTreeMap
+            // keeps the iteration order deterministic, so runs are reproducible across
+            // seeds and across the parallel/sequential code paths.
+            let mut groups: BTreeMap<NodeId, (f64, usize, Vec<usize>)> = BTreeMap::new();
+            for &idx in &incident[v] {
+                dec.work += 1;
+                if !alive[idx] {
+                    continue;
+                }
+                let (_, a, b, w) = view[idx];
+                let other = if a == v { b } else { a };
+                let c_other = match center[other] {
+                    Some(c) => c,
+                    None => continue, // should not happen: unclustered vertices have no alive edges
+                };
+                if c_other == c_v {
+                    continue; // intra-cluster edges are removed lazily below
+                }
+                let entry = groups.entry(c_other).or_insert((f64::INFINITY, usize::MAX, Vec::new()));
+                if w < entry.0 {
+                    entry.0 = w;
+                    entry.1 = idx;
+                }
+                entry.2.push(idx);
+            }
+            if groups.is_empty() {
+                dec.became_unclustered = true;
+                return Some(dec);
+            }
+            // Lightest edge into a *sampled* adjacent cluster, if any. Ties are broken
+            // by cluster id so the choice is deterministic.
+            let best_sampled = groups
+                .iter()
+                .filter(|(c, _)| sampled[**c])
+                .min_by(|a, b| {
+                    a.1 .0
+                        .partial_cmp(&b.1 .0)
+                        .unwrap()
+                        .then_with(|| a.0.cmp(b.0))
+                });
+            match best_sampled {
+                None => {
+                    // No sampled neighbor cluster: keep one lightest edge per adjacent
+                    // cluster and discard the rest; v leaves the clustering.
+                    for (_, (_, best_idx, all)) in groups {
+                        dec.add.push(best_idx);
+                        dec.kill.extend(all);
+                    }
+                    dec.became_unclustered = true;
+                }
+                Some((&c_star, &(w_star, best_idx_star, _))) => {
+                    // Join the sampled cluster through its lightest edge.
+                    dec.new_center = Some(c_star);
+                    dec.add.push(best_idx_star);
+                    for (c, (w_c, best_idx, all)) in groups {
+                        if c == c_star {
+                            dec.kill.extend(all);
+                        } else if w_c < w_star {
+                            dec.add.push(best_idx);
+                            dec.kill.extend(all);
+                        }
+                    }
+                }
+            }
+            Some(dec)
+        };
+
+        let mut decisions: Vec<(NodeId, Decision)> = if cfg.parallel {
+            (0..n)
+                .into_par_iter()
+                .filter_map(|v| process(v).map(|d| (v, d)))
+                .collect()
+        } else {
+            (0..n).filter_map(|v| process(v).map(|d| (v, d))).collect()
+        };
+        // Apply in vertex order so the parallel and sequential paths are bit-identical.
+        decisions.sort_by_key(|(v, _)| *v);
+
+        // Apply the decisions sequentially (cheap: proportional to edges touched).
+        let mut new_center = center.clone();
+        for (v, dec) in decisions {
+            total_work += dec.work;
+            for idx in dec.add {
+                in_spanner[idx] = true;
+            }
+            for idx in dec.kill {
+                alive[idx] = false;
+            }
+            if dec.became_unclustered {
+                new_center[v] = None;
+                // Any still-alive incident edge of an unclustered vertex is dead weight;
+                // they were all either added or killed above, but parallel edges from
+                // the same group may linger — kill them defensively.
+                for &idx in &incident[v] {
+                    if alive[idx] && !in_spanner[idx] {
+                        let (_, a, b, _) = view[idx];
+                        let other = if a == v { b } else { a };
+                        if center[other].is_some() {
+                            alive[idx] = false;
+                        }
+                    }
+                }
+            } else if let Some(c) = dec.new_center {
+                new_center[v] = Some(c);
+            }
+        }
+        center = new_center;
+
+        // Remove intra-cluster edges of the new clustering.
+        for (idx, &(_, u, v, _)) in view.iter().enumerate() {
+            if alive[idx] {
+                total_work += 1;
+                if let (Some(cu), Some(cv)) = (center[u], center[v]) {
+                    if cu == cv {
+                        alive[idx] = false;
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 2: vertex–cluster joining on the final clustering.
+    rounds += 1;
+    let joining = |v: NodeId| -> Decision {
+        let mut dec = Decision::default();
+        let mut best: BTreeMap<NodeId, (f64, usize)> = BTreeMap::new();
+        for &idx in &incident[v] {
+            dec.work += 1;
+            if !alive[idx] {
+                continue;
+            }
+            let (_, a, b, w) = view[idx];
+            let other = if a == v { b } else { a };
+            if let Some(c_other) = center[other] {
+                if center[v] == Some(c_other) {
+                    continue;
+                }
+                let entry = best.entry(c_other).or_insert((f64::INFINITY, usize::MAX));
+                if w < entry.0 {
+                    *entry = (w, idx);
+                }
+            }
+        }
+        for (_, (_, idx)) in best {
+            dec.add.push(idx);
+        }
+        dec
+    };
+    let final_decisions: Vec<Decision> = if cfg.parallel {
+        (0..n).into_par_iter().map(joining).collect()
+    } else {
+        (0..n).map(joining).collect()
+    };
+    for dec in final_decisions {
+        total_work += dec.work;
+        for idx in dec.add {
+            in_spanner[idx] = true;
+        }
+    }
+
+    let mut edge_ids: Vec<EdgeId> = view
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, &(id, _, _, _))| if in_spanner[idx] { Some(id) } else { None })
+        .collect();
+    edge_ids.sort_unstable();
+    edge_ids.dedup();
+    SpannerResult { edge_ids, rounds, work: total_work }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::{connectivity::is_connected, generators, stretch};
+
+    fn check_spanner_invariants(g: &Graph, cfg: &SpannerConfig) -> (usize, f64) {
+        let result = baswana_sen_spanner(g, cfg);
+        let h = result.to_graph(g);
+        // The spanner must span every connected component.
+        if is_connected(g) {
+            assert!(is_connected(&h), "spanner must be connected when G is");
+        }
+        let k = cfg.k.unwrap_or_else(|| (g.n() as f64).log2().ceil() as usize).max(1);
+        let bound = (2 * k - 1) as f64 + 1e-9;
+        let max_stretch = stretch::max_stretch(g, &h);
+        assert!(
+            max_stretch <= bound,
+            "stretch {max_stretch} exceeds 2k-1 = {bound} (k = {k})"
+        );
+        (h.m(), max_stretch)
+    }
+
+    #[test]
+    fn spanner_of_sparse_graph_keeps_almost_everything() {
+        let g = generators::cycle(30, 1.0);
+        let (m, _) = check_spanner_invariants(&g, &SpannerConfig::with_seed(1));
+        assert!(m >= 29, "cycle spanner keeps at least a spanning structure");
+    }
+
+    #[test]
+    fn spanner_of_complete_graph_is_much_smaller() {
+        let n = 120;
+        let g = generators::complete(n, 1.0);
+        let cfg = SpannerConfig::with_seed(7);
+        let (m, _) = check_spanner_invariants(&g, &cfg);
+        // O(n log n) edges versus n(n-1)/2 ≈ 7140.
+        let k = (n as f64).log2().ceil();
+        let budget = (6.0 * n as f64 * k) as usize;
+        assert!(m <= budget, "spanner size {m} exceeds budget {budget}");
+        assert!(m < g.m() / 3, "spanner should be much sparser than K_n");
+    }
+
+    #[test]
+    fn stretch_bound_holds_on_weighted_random_graphs() {
+        for seed in 0..3 {
+            let g = generators::erdos_renyi_weighted(150, 0.15, 0.1, 10.0, seed);
+            if !is_connected(&g) {
+                continue;
+            }
+            check_spanner_invariants(&g, &SpannerConfig::with_seed(seed * 31 + 1));
+        }
+    }
+
+    #[test]
+    fn explicit_small_k_gives_denser_spanner_with_smaller_stretch() {
+        let g = generators::erdos_renyi(200, 0.2, 1.0, 3);
+        let loose = baswana_sen_spanner(&g, &SpannerConfig::with_seed(5));
+        let tight = baswana_sen_spanner(&g, &SpannerConfig::with_seed(5).with_k(2));
+        // k = 2 gives a 3-spanner: more edges, tighter stretch.
+        let h_tight = tight.to_graph(&g);
+        let s = stretch::max_stretch(&g, &h_tight);
+        assert!(s <= 3.0 + 1e-9, "3-spanner stretch was {s}");
+        assert!(tight.edge_ids.len() >= loose.edge_ids.len() / 2);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree_for_same_seed() {
+        let g = generators::erdos_renyi(150, 0.15, 1.0, 11);
+        let par = baswana_sen_spanner(&g, &SpannerConfig::with_seed(9).with_parallel(true));
+        let seq = baswana_sen_spanner(&g, &SpannerConfig::with_seed(9).with_parallel(false));
+        assert_eq!(par.edge_ids, seq.edge_ids);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = generators::preferential_attachment(300, 4, 1.0, 2);
+        let a = baswana_sen_spanner(&g, &SpannerConfig::with_seed(3));
+        let b = baswana_sen_spanner(&g, &SpannerConfig::with_seed(3));
+        let c = baswana_sen_spanner(&g, &SpannerConfig::with_seed(4));
+        assert_eq!(a.edge_ids, b.edge_ids);
+        assert!(a.edge_ids != c.edge_ids || a.edge_ids.len() == g.m());
+    }
+
+    #[test]
+    fn work_is_near_linear_in_m_per_round() {
+        let g = generators::erdos_renyi(300, 0.1, 1.0, 5);
+        let result = baswana_sen_spanner(&g, &SpannerConfig::with_seed(1));
+        let k = (300f64).log2().ceil() as u64;
+        // Work is bounded by a small constant times k · m (Theorem 1: O(m log n)).
+        assert!(
+            result.work <= 8 * k * g.m() as u64 + 1000,
+            "work {} vs bound {}",
+            result.work,
+            8 * k * g.m() as u64
+        );
+        assert!(result.rounds as u64 <= k + 1);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let g = Graph::new(0);
+        let r = baswana_sen_spanner(&g, &SpannerConfig::default());
+        assert!(r.edge_ids.is_empty());
+        let g = Graph::new(5);
+        let r = baswana_sen_spanner(&g, &SpannerConfig::default());
+        assert!(r.edge_ids.is_empty());
+        let g = Graph::from_tuples(2, vec![(0, 1, 3.0)]).unwrap();
+        let r = baswana_sen_spanner(&g, &SpannerConfig::default());
+        assert_eq!(r.edge_ids, vec![0]);
+    }
+
+    #[test]
+    fn disconnected_graph_gets_spanner_per_component() {
+        let mut g = generators::complete(20, 1.0);
+        // Add a second complete component on 20 more vertices.
+        let other = generators::complete(20, 1.0);
+        let mut big = Graph::new(40);
+        for e in g.edges() {
+            big.add_edge(e.u, e.v, e.w).unwrap();
+        }
+        for e in other.edges() {
+            big.add_edge(20 + e.u, 20 + e.v, e.w).unwrap();
+        }
+        g = big;
+        let r = baswana_sen_spanner(&g, &SpannerConfig::with_seed(2));
+        let h = r.to_graph(&g);
+        let (labels, count) = sgs_graph::connectivity::connected_components(&h);
+        assert_eq!(count, 2);
+        // Components must not be merged or split.
+        assert_eq!(labels[0], labels[19]);
+        assert_eq!(labels[20], labels[39]);
+        assert_ne!(labels[0], labels[20]);
+        let s = stretch::max_stretch(&g, &h);
+        assert!(s <= 2.0 * (40f64).log2().ceil() + 1.0);
+    }
+}

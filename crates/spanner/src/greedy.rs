@@ -1,0 +1,96 @@
+//! The classical greedy spanner, used as a deterministic baseline and test oracle.
+//!
+//! Edges are processed in order of increasing resistance (`1 / w`); an edge is added to
+//! the spanner unless its endpoints are already connected inside the partial spanner by
+//! a path of resistance at most `stretch · (1 / w)`. The result is a spanner with
+//! multiplicative stretch at most `stretch` by construction. The greedy spanner is
+//! denser to compute (`O(m · Dijkstra)`) but simple enough to serve as a correctness
+//! oracle for the randomized construction.
+
+use sgs_graph::traversal::dijkstra_with_lengths;
+use sgs_graph::{EdgeId, Graph};
+
+/// Computes a greedy `stretch`-spanner of `g`, returning the kept edge ids.
+pub fn greedy_spanner(g: &Graph, stretch: f64) -> Vec<EdgeId> {
+    assert!(stretch >= 1.0, "stretch must be at least 1");
+    let n = g.n();
+    let mut order: Vec<EdgeId> = (0..g.m()).collect();
+    // Increasing resistance = decreasing weight.
+    order.sort_by(|&a, &b| {
+        let ra = 1.0 / g.edge(a).w;
+        let rb = 1.0 / g.edge(b).w;
+        ra.partial_cmp(&rb).unwrap().then_with(|| a.cmp(&b))
+    });
+
+    let mut kept: Vec<EdgeId> = Vec::new();
+    let mut partial = Graph::new(n);
+    for id in order {
+        let e = g.edge(id);
+        let limit = stretch / e.w;
+        let adj = partial.adjacency();
+        let dist = dijkstra_with_lengths(&adj, e.u, |w| 1.0 / w, Some(limit));
+        if dist[e.v] > limit {
+            partial.push_edge_unchecked(e.u, e.v, e.w);
+            kept.push(id);
+        }
+    }
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgs_graph::{connectivity::is_connected, generators, stretch};
+
+    #[test]
+    fn greedy_spanner_respects_stretch_bound() {
+        let g = generators::erdos_renyi_weighted(60, 0.3, 0.5, 2.0, 3);
+        assert!(is_connected(&g));
+        for target in [2.0, 4.0, 8.0] {
+            let ids = greedy_spanner(&g, target);
+            let h = g.with_edge_ids(&ids);
+            let s = stretch::max_stretch(&g, &h);
+            assert!(s <= target + 1e-9, "stretch {s} > {target}");
+        }
+    }
+
+    #[test]
+    fn larger_stretch_gives_sparser_spanner() {
+        let g = generators::complete(40, 1.0);
+        let tight = greedy_spanner(&g, 1.5);
+        let loose = greedy_spanner(&g, 8.0);
+        assert!(loose.len() <= tight.len());
+        assert!(loose.len() < g.m());
+    }
+
+    #[test]
+    fn stretch_one_keeps_every_edge_of_a_simple_graph() {
+        let g = generators::grid2d(5, 5, 1.0);
+        let ids = greedy_spanner(&g, 1.0);
+        assert_eq!(ids.len(), g.m());
+    }
+
+    #[test]
+    fn spanner_preserves_connectivity() {
+        let g = generators::preferential_attachment(120, 3, 1.0, 7);
+        let ids = greedy_spanner(&g, 6.0);
+        let h = g.with_edge_ids(&ids);
+        assert!(is_connected(&h));
+    }
+
+    #[test]
+    fn greedy_and_baswana_sen_sizes_are_comparable_on_dense_graphs() {
+        let g = generators::complete(80, 1.0);
+        let k = (80f64).log2().ceil();
+        let greedy = greedy_spanner(&g, 2.0 * k);
+        let bs = crate::baswana_sen::baswana_sen_spanner(
+            &g,
+            &crate::baswana_sen::SpannerConfig::with_seed(3),
+        );
+        // Both should be well below the complete graph's edge count; the randomized
+        // construction may be a constant factor larger.
+        assert!(greedy.len() < g.m() / 4);
+        assert!(bs.edge_ids.len() < g.m() / 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! Quickstart: sparsify a dense random graph and verify the spectral quality.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spectral_sparsify::graph::{connectivity::is_connected, generators};
+use spectral_sparsify::linalg::spectral::CertifyOptions;
+use spectral_sparsify::sparsify::{
+    parallel_sparsify, verify_sparsifier, BundleSizing, SparsifyConfig,
+};
+
+fn main() {
+    // A dense Erdős–Rényi graph: n = 2000 vertices, ~200k edges.
+    let n = 2000;
+    let g = generators::erdos_renyi(n, 0.1, 1.0, 42);
+    println!("input graph: n = {}, m = {}, connected = {}", g.n(), g.m(), is_connected(&g));
+
+    // PARALLELSPARSIFY with accuracy 0.5 and sparsification factor 8.
+    let cfg = SparsifyConfig::new(0.5, 8.0)
+        .with_bundle_sizing(BundleSizing::Fixed(4))
+        .with_seed(7);
+    let start = std::time::Instant::now();
+    let out = parallel_sparsify(&g, &cfg);
+    let elapsed = start.elapsed();
+
+    println!(
+        "sparsifier: m = {} ({}x smaller), rounds = {}, work ~ {} edge ops, {:.1} ms",
+        out.sparsifier.m(),
+        g.m() / out.sparsifier.m().max(1),
+        out.rounds_executed,
+        out.stats.total_work(),
+        elapsed.as_secs_f64() * 1e3
+    );
+    println!("still connected: {}", is_connected(&out.sparsifier));
+
+    // Certify the spectral approximation quality with generalized power iteration.
+    let report = verify_sparsifier(&g, &out.sparsifier, &CertifyOptions::default());
+    println!("verification: {report}");
+    println!(
+        "quadratic forms agree within a factor of [{:.3}, {:.3}] on every vector",
+        report.bounds.lower, report.bounds.upper
+    );
+}

@@ -1,0 +1,42 @@
+//! # spectral-sparsify
+//!
+//! Facade crate for the reproduction of Ioannis Koutis, *Simple Parallel and Distributed
+//! Algorithms for Spectral Graph Sparsification* (SPAA 2014).
+//!
+//! The actual functionality lives in the workspace member crates, re-exported here so
+//! that examples and downstream users need a single dependency:
+//!
+//! * [`graph`] — weighted graphs, generators, stretch, graph algebra ([`sgs_graph`]).
+//! * [`linalg`] — sparse matrices, CG/PCG, Lanczos, effective resistances
+//!   ([`sgs_linalg`]).
+//! * [`spanner`] — Baswana–Sen spanners and t-bundle spanners ([`sgs_spanner`]).
+//! * [`sparsify`] — PARALLELSAMPLE / PARALLELSPARSIFY and baselines ([`sgs_core`]).
+//! * [`distributed`] — the synchronous CONGEST-style simulator ([`sgs_distributed`]).
+//! * [`solver`] — the Peng–Spielman-style SDD solver built on the sparsifier
+//!   ([`sgs_solver`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use spectral_sparsify::graph::generators;
+//! use spectral_sparsify::sparsify::{parallel_sparsify, BundleSizing, SparsifyConfig};
+//!
+//! let g = generators::erdos_renyi(300, 0.3, 1.0, 7);
+//! let cfg = SparsifyConfig::new(0.5, 4.0)
+//!     .with_bundle_sizing(BundleSizing::Fixed(4))
+//!     .with_seed(1);
+//! let result = parallel_sparsify(&g, &cfg);
+//! assert!(result.sparsifier.m() < g.m());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use sgs_core as sparsify;
+pub use sgs_distributed as distributed;
+pub use sgs_graph as graph;
+pub use sgs_linalg as linalg;
+pub use sgs_solver as solver;
+pub use sgs_spanner as spanner;
+
+/// Version string of the reproduction suite.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,134 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+//!
+//! Each property draws random graphs / parameters and asserts an invariant that must
+//! hold for *every* input, not just the hand-picked cases of the unit tests.
+
+use proptest::prelude::*;
+
+use spectral_sparsify::graph::{connectivity, generators, ops, stretch, Graph};
+use spectral_sparsify::linalg::csr::CsrMatrix;
+use spectral_sparsify::linalg::resistance::{exact_effective_resistances, total_leverage};
+use spectral_sparsify::linalg::spectral::ratio_samples;
+use spectral_sparsify::spanner::{baswana_sen_spanner, t_bundle, BundleConfig, SpannerConfig};
+use spectral_sparsify::sparsify::{parallel_sample, BundleSizing, SparsifyConfig};
+
+/// Strategy: a connected weighted Erdős–Rényi graph of moderate size.
+fn connected_graph() -> impl Strategy<Value = Graph> {
+    (20usize..80, 1u64..500, 1u32..4).prop_map(|(n, seed, wclass)| {
+        let (lo, hi) = match wclass {
+            1 => (1.0, 1.0),
+            2 => (0.5, 2.0),
+            _ => (0.1, 10.0),
+        };
+        // p chosen high enough that connectivity is overwhelmingly likely; fall back to
+        // adding a cycle if the draw is disconnected so the property always gets a
+        // connected input.
+        let g = generators::erdos_renyi_weighted(n, 0.2, lo, hi, seed);
+        if connectivity::is_connected(&g) {
+            g
+        } else {
+            ops::add(&g, &generators::cycle(n, lo)).unwrap()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Laplacian quadratic form equals the weighted sum of squared differences and
+    /// is invariant under coalescing parallel edges.
+    #[test]
+    fn quadratic_form_identities(g in connected_graph(), shift in -5.0f64..5.0) {
+        let n = g.n();
+        let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.37).sin() + shift).collect();
+        let manual: f64 = g
+            .edges()
+            .iter()
+            .map(|e| e.w * (x[e.u] - x[e.v]).powi(2))
+            .sum();
+        let via_graph = g.quadratic_form(&x);
+        let via_matrix = CsrMatrix::laplacian(&g).quadratic_form(&x);
+        let via_coalesced = g.coalesce().quadratic_form(&x);
+        prop_assert!((via_graph - manual).abs() <= 1e-9 * manual.abs().max(1.0));
+        prop_assert!((via_matrix - manual).abs() <= 1e-7 * manual.abs().max(1.0));
+        prop_assert!((via_coalesced - manual).abs() <= 1e-9 * manual.abs().max(1.0));
+        // Shifting x by a constant leaves the form unchanged.
+        let shifted: Vec<f64> = x.iter().map(|v| v + 3.0).collect();
+        prop_assert!((g.quadratic_form(&shifted) - via_graph).abs() <= 1e-9 * via_graph.abs().max(1.0));
+    }
+
+    /// Spanner invariants: stretch bounded by 2k−1 and connectivity preserved.
+    #[test]
+    fn spanner_invariants(g in connected_graph(), seed in 0u64..1000) {
+        let cfg = SpannerConfig::with_seed(seed);
+        let r = baswana_sen_spanner(&g, &cfg);
+        let h = r.to_graph(&g);
+        prop_assert!(connectivity::is_connected(&h));
+        let k = (g.n().max(2) as f64).log2().ceil() as usize;
+        let s = stretch::max_stretch(&g, &h);
+        prop_assert!(s <= (2 * k) as f64 + 1e-9, "stretch {} with k {}", s, k);
+        prop_assert!(r.edge_ids.len() <= g.m());
+    }
+
+    /// Lemma 1 on random inputs: off-bundle leverage scores never exceed log n / t.
+    #[test]
+    fn bundle_certificate(g in connected_graph(), t in 1usize..4, seed in 0u64..100) {
+        let bundle = t_bundle(&g, &BundleConfig::new(t).with_seed(seed));
+        let resistances = exact_effective_resistances(&g);
+        let bound = (g.n() as f64).log2() / t as f64;
+        for (id, e) in g.edges().iter().enumerate() {
+            if !bundle.in_bundle[id] {
+                prop_assert!(e.w * resistances[id] <= bound + 1e-9);
+            }
+        }
+    }
+
+    /// The total leverage identity: sum of w_e R_e over a connected graph equals n − 1.
+    #[test]
+    fn foster_theorem(g in connected_graph()) {
+        let resistances = exact_effective_resistances(&g);
+        let total = total_leverage(&g, &resistances);
+        prop_assert!((total - (g.n() as f64 - 1.0)).abs() < 1e-4, "total {}", total);
+    }
+
+    /// PARALLELSAMPLE structural invariants: connectivity, vertex count, weight classes,
+    /// and a non-degenerate quadratic-form ratio on random probe vectors.
+    #[test]
+    fn parallel_sample_invariants(g in connected_graph(), seed in 0u64..200) {
+        let cfg = SparsifyConfig::new(0.5, 2.0)
+            .with_bundle_sizing(BundleSizing::Fixed(2))
+            .with_seed(seed);
+        let out = parallel_sample(&g, 0.5, &cfg);
+        prop_assert_eq!(out.sparsifier.n(), g.n());
+        prop_assert!(connectivity::is_connected(&out.sparsifier));
+        prop_assert!(out.sparsifier.m() <= g.m());
+        // Every output weight is either an original weight or 4x an original weight.
+        for e in out.sparsifier.edges() {
+            let ok = g
+                .edges()
+                .iter()
+                .any(|orig| ((orig.w - e.w).abs() < 1e-9) || ((4.0 * orig.w - e.w).abs() < 1e-9));
+            prop_assert!(ok, "unexpected weight {}", e.w);
+        }
+        // Quadratic-form ratios on random vectors stay within loose two-sided bounds
+        // (a necessary condition of the (1 ± eps) guarantee with practical constants).
+        let (lo, hi) = ratio_samples(&g, &out.sparsifier, 30, seed);
+        prop_assert!(lo > 0.05, "ratio lower bound {}", lo);
+        prop_assert!(hi < 6.0, "ratio upper bound {}", hi);
+    }
+
+    /// Graph algebra: the Laplacian of a*G1 + G2 acts like the weighted sum of the
+    /// individual Laplacians.
+    #[test]
+    fn graph_algebra_is_linear(
+        g1 in connected_graph(),
+        scale in 0.5f64..4.0,
+        seed in 0u64..50
+    ) {
+        let g2 = generators::erdos_renyi(g1.n(), 0.1, 1.0, seed);
+        let combo = ops::add(&ops::scale(&g1, scale).unwrap(), &g2).unwrap();
+        let x: Vec<f64> = (0..g1.n()).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let expect = scale * g1.quadratic_form(&x) + g2.quadratic_form(&x);
+        prop_assert!((combo.quadratic_form(&x) - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+    }
+}

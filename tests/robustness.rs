@@ -1,0 +1,169 @@
+//! Robustness and failure-injection integration tests: degenerate inputs, extreme
+//! weights, disconnected graphs, and repeated use of the public API the way a downstream
+//! project would exercise it.
+
+use spectral_sparsify::distributed::{distributed_spanner, DistSpannerConfig};
+use spectral_sparsify::graph::{connectivity, generators, io, metrics, ops, Graph};
+use spectral_sparsify::linalg::spectral::CertifyOptions;
+use spectral_sparsify::solver::{SddSolver, SolverConfig};
+use spectral_sparsify::spanner::{baswana_sen_spanner, SpannerConfig};
+use spectral_sparsify::sparsify::prelude::*;
+
+/// Sparsifying an already-sparse graph must be a no-op and never corrupt it.
+#[test]
+fn sparsifying_trees_and_cycles_is_identity() {
+    for g in [
+        generators::path(500, 1.0),
+        generators::cycle(500, 2.0),
+        generators::star(500, 0.5),
+        generators::grid_spanning_tree(20, 25, 1.0),
+    ] {
+        let cfg = SparsifyConfig::new(0.5, 8.0)
+            .with_bundle_sizing(BundleSizing::Fixed(3))
+            .with_seed(1);
+        let out = parallel_sparsify(&g, &cfg);
+        assert_eq!(out.sparsifier.m(), g.m());
+        assert_eq!(out.rounds_executed, 0);
+    }
+}
+
+/// Extreme weight ranges (ten orders of magnitude) must not break the pipeline.
+#[test]
+fn extreme_weight_ranges_are_handled() {
+    let mut g = generators::erdos_renyi(200, 0.3, 1.0, 7);
+    // Rescale a slice of edges to extreme weights.
+    for (i, e) in g.edges_mut().iter_mut().enumerate() {
+        if i % 3 == 0 {
+            e.w *= 1e6;
+        } else if i % 3 == 1 {
+            e.w *= 1e-6;
+        }
+    }
+    assert!(connectivity::is_connected(&g));
+    let spanner = baswana_sen_spanner(&g, &SpannerConfig::with_seed(3));
+    let h = spanner.to_graph(&g);
+    assert!(connectivity::is_connected(&h));
+
+    let cfg = SparsifyConfig::new(0.5, 4.0)
+        .with_bundle_sizing(BundleSizing::Fixed(4))
+        .with_seed(3);
+    let out = parallel_sparsify(&g, &cfg);
+    assert!(connectivity::is_connected(&out.sparsifier));
+    for e in out.sparsifier.edges() {
+        assert!(e.w.is_finite() && e.w > 0.0);
+    }
+    let report = verify_sparsifier(&g, &out.sparsifier, &CertifyOptions::default());
+    assert!(report.bounds.lower > 0.0);
+    assert!(report.bounds.upper.is_finite());
+}
+
+/// The sparsifier preserves small cuts approximately (a necessary consequence of the
+/// spectral guarantee, checked on the expander-dumbbell's unique sparse cut).
+#[test]
+fn sparse_cuts_are_preserved() {
+    let g = generators::expander_dumbbell(200, 40, 1.0, 0.2, 5);
+    let side: Vec<bool> = (0..g.n()).map(|v| v < 200).collect();
+    let cut_before = metrics::cut_weight(&g, &side);
+    let cfg = SparsifyConfig::new(0.5, 4.0)
+        .with_bundle_sizing(BundleSizing::Fixed(3))
+        .with_seed(11);
+    let out = parallel_sparsify(&g, &cfg);
+    let cut_after = metrics::cut_weight(&out.sparsifier, &side);
+    // The single bridge edge has maximal leverage, so it must be in the first spanner
+    // and is preserved exactly (never resampled/reweighted as long as it is in a bundle
+    // in every executed round). Allow a factor-4 window to be safe across rounds.
+    assert!(cut_after > 0.0, "cut destroyed");
+    let ratio = cut_after / cut_before;
+    assert!(ratio > 0.2 && ratio < 5.0, "cut ratio {ratio}");
+}
+
+/// Disconnected graphs: spanners, bundles and distributed spanners operate per
+/// component; the sparsifier never connects what was disconnected.
+#[test]
+fn disconnected_inputs_stay_disconnected() {
+    let a = generators::complete(40, 1.0);
+    let b = generators::complete(40, 1.0);
+    let mut g = Graph::new(80);
+    for e in a.edges() {
+        g.add_edge(e.u, e.v, e.w).unwrap();
+    }
+    for e in b.edges() {
+        g.add_edge(40 + e.u, 40 + e.v, e.w).unwrap();
+    }
+    let (_, count) = connectivity::connected_components(&g);
+    assert_eq!(count, 2);
+
+    let spanner = baswana_sen_spanner(&g, &SpannerConfig::with_seed(1)).to_graph(&g);
+    let (_, count) = connectivity::connected_components(&spanner);
+    assert_eq!(count, 2);
+
+    let dist = distributed_spanner(&g, &DistSpannerConfig::with_seed(1));
+    let (_, count) = connectivity::connected_components(&g.with_edge_ids(&dist.edge_ids));
+    assert_eq!(count, 2);
+
+    let cfg = SparsifyConfig::new(0.5, 2.0)
+        .with_bundle_sizing(BundleSizing::Fixed(2))
+        .with_seed(1);
+    let out = parallel_sample(&g, 0.5, &cfg);
+    let (_, count) = connectivity::connected_components(&out.sparsifier);
+    assert_eq!(count, 2);
+}
+
+/// The solver answers many right-hand sides from one chain build, and the answers are
+/// consistent with superposition (linearity of the solve).
+#[test]
+fn solver_reuse_and_superposition() {
+    let g = generators::erdos_renyi(200, 0.1, 1.0, 13);
+    let solver = SddSolver::for_laplacian(g, SolverConfig::default());
+    let n = solver.system().n();
+    let mut b1 = vec![0.0; n];
+    b1[0] = 1.0;
+    b1[50] = -1.0;
+    let mut b2 = vec![0.0; n];
+    b2[100] = 1.0;
+    b2[150] = -1.0;
+    let combo: Vec<f64> = b1.iter().zip(&b2).map(|(x, y)| 2.0 * x + 3.0 * y).collect();
+    let x1 = solver.solve(&b1);
+    let x2 = solver.solve(&b2);
+    let xc = solver.solve(&combo);
+    assert!(x1.converged && x2.converged && xc.converged);
+    for i in 0..n {
+        let lin = 2.0 * x1.solution[i] + 3.0 * x2.solution[i];
+        assert!((xc.solution[i] - lin).abs() < 1e-4 * (1.0 + lin.abs()), "index {i}");
+    }
+}
+
+/// Graph I/O round trip composed with sparsification: persist a sparsifier, reload it,
+/// and verify the reloaded copy certifies identically.
+#[test]
+fn io_round_trip_preserves_sparsifier_quality() {
+    let g = generators::erdos_renyi(150, 0.3, 1.0, 17);
+    let cfg = SparsifyConfig::new(0.5, 4.0)
+        .with_bundle_sizing(BundleSizing::Fixed(3))
+        .with_seed(5);
+    let h = parallel_sparsify(&g, &cfg).sparsifier;
+    let text = io::to_string(&h);
+    let reloaded = io::from_str(&text).unwrap();
+    assert_eq!(h.n(), reloaded.n());
+    assert_eq!(h.m(), reloaded.m());
+    let x: Vec<f64> = (0..g.n()).map(|i| ((i * 31 % 17) as f64) - 8.0).collect();
+    assert!((h.quadratic_form(&x) - reloaded.quadratic_form(&x)).abs() < 1e-9);
+}
+
+/// Scaling a graph commutes with sparsification in distribution: sparsifying a*G with
+/// the same seed produces exactly a times the sparsifier of G.
+#[test]
+fn sparsification_is_scale_equivariant() {
+    let g = generators::erdos_renyi(250, 0.3, 1.0, 19);
+    let scaled = ops::scale(&g, 3.0).unwrap();
+    let cfg = SparsifyConfig::new(0.5, 4.0)
+        .with_bundle_sizing(BundleSizing::Fixed(3))
+        .with_seed(23);
+    let out = parallel_sparsify(&g, &cfg);
+    let out_scaled = parallel_sparsify(&scaled, &cfg);
+    assert_eq!(out.sparsifier.m(), out_scaled.sparsifier.m());
+    for (e, es) in out.sparsifier.edges().iter().zip(out_scaled.sparsifier.edges()) {
+        assert_eq!((e.u, e.v), (es.u, es.v));
+        assert!((es.w - 3.0 * e.w).abs() < 1e-9 * es.w.max(1.0));
+    }
+}
