@@ -17,7 +17,9 @@ fn bench_baseline_construction(c: &mut Criterion) {
     let cfg = SparsifyConfig::new(0.5, 4.0)
         .with_bundle_sizing(BundleSizing::Fixed(4))
         .with_seed(5);
-    group.bench_function("parallel_sparsify", |b| b.iter(|| parallel_sparsify(&g, &cfg)));
+    group.bench_function("parallel_sparsify", |b| {
+        b.iter(|| parallel_sparsify(&g, &cfg))
+    });
     group.bench_function("effective_resistance", |b| {
         b.iter(|| effective_resistance_sparsify(&g, 0.5, 0.5, 5))
     });
@@ -34,7 +36,10 @@ fn bench_baselines_on_structured_graphs(c: &mut Criterion) {
     let cfg = SparsifyConfig::new(0.5, 4.0)
         .with_bundle_sizing(BundleSizing::Fixed(4))
         .with_seed(5);
-    for workload in [Workload::Preferential { n: 1000, k: 20 }, Workload::Barbell { k: 60 }] {
+    for workload in [
+        Workload::Preferential { n: 1000, k: 20 },
+        Workload::Barbell { k: 60 },
+    ] {
         let g = workload.build(39);
         group.bench_function(format!("parallel_sparsify/{}", workload.label()), |b| {
             b.iter(|| parallel_sparsify(&g, &cfg))
@@ -46,5 +51,9 @@ fn bench_baselines_on_structured_graphs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_baseline_construction, bench_baselines_on_structured_graphs);
+criterion_group!(
+    benches,
+    bench_baseline_construction,
+    bench_baselines_on_structured_graphs
+);
 criterion_main!(benches);

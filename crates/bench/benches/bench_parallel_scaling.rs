@@ -39,5 +39,9 @@ fn bench_sequential_vs_parallel_flag(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_thread_scaling, bench_sequential_vs_parallel_flag);
+criterion_group!(
+    benches,
+    bench_thread_scaling,
+    bench_sequential_vs_parallel_flag
+);
 criterion_main!(benches);

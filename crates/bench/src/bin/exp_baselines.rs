@@ -37,7 +37,12 @@ fn main() {
         Workload::Barbell { k: 60 },
     ] {
         let g = workload.build(23);
-        println!("\nworkload {}: n = {}, m = {}", workload.label(), g.n(), g.m());
+        println!(
+            "\nworkload {}: n = {}, m = {}",
+            workload.label(),
+            g.n(),
+            g.m()
+        );
         let mut rows = Vec::new();
 
         let cfg = SparsifyConfig::new(eps, 4.0)
@@ -47,20 +52,29 @@ fn main() {
         rows.push(evaluate("parallel_sparsify", &g, &ours.sparsifier, ms, 0));
 
         let (er, ms) = time_ms(|| effective_resistance_sparsify(&g, eps, 0.5, 5));
-        rows.push(evaluate("effective_resistance", &g, &er.sparsifier, ms, er.solves));
+        rows.push(evaluate(
+            "effective_resistance",
+            &g,
+            &er.sparsifier,
+            ms,
+            er.solves,
+        ));
 
         // Uniform sampling at the same expected size as the paper's output.
         let p = (ours.sparsifier.m() as f64 / g.m() as f64).min(1.0);
         let (uni, ms) = time_ms(|| uniform_sparsify(&g, p, 5));
-        rows.push(evaluate("uniform(matched size)", &g, &uni.sparsifier, ms, 0));
+        rows.push(evaluate(
+            "uniform(matched size)",
+            &g,
+            &uni.sparsifier,
+            ms,
+            0,
+        ));
 
         let (span, ms) = time_ms(|| spanner_oversampling_sparsify(&g, 0.25, 5));
         rows.push(evaluate("spanner+oversample", &g, &span.sparsifier, ms, 0));
 
-        print_table(
-            &format!("E9: baselines on {}", workload.label()),
-            &rows,
-        );
+        print_table(&format!("E9: baselines on {}", workload.label()), &rows);
     }
     println!(
         "\nexpected shape: on the barbell the uniform baseline loses connectivity / blows up its\n\

@@ -33,11 +33,17 @@ fn main() {
         rows.push(
             Row::new(format!("t = {t}"))
                 .push("bundle_edges", bundle.bundle_size as f64)
-                .push("edges/(t n log n)", bundle.bundle_size as f64 / (t as f64 * n as f64 * log_n))
+                .push(
+                    "edges/(t n log n)",
+                    bundle.bundle_size as f64 / (t as f64 * n as f64 * log_n),
+                )
                 .push("off_bundle", off_bundle as f64)
                 .push("worst w_e R_e", worst_leverage)
                 .push("bound log n / t", log_n / t as f64)
-                .push("work/(t m log n)", bundle.work as f64 / (t as f64 * g.m() as f64 * log_n))
+                .push(
+                    "work/(t m log n)",
+                    bundle.work as f64 / (t as f64 * g.m() as f64 * log_n),
+                )
                 .push("time_ms", ms),
         );
     }

@@ -10,7 +10,9 @@
 
 use sgs_bench::{print_table, Row, Workload};
 use sgs_core::{BundleSizing, SparsifyConfig};
-use sgs_distributed::{distributed_sample, distributed_sparsify, distributed_spanner, DistSpannerConfig};
+use sgs_distributed::{
+    distributed_sample, distributed_spanner, distributed_sparsify, DistSpannerConfig,
+};
 use sgs_graph::stretch;
 
 fn main() {
@@ -21,7 +23,11 @@ fn main() {
         let log_n = (n as f64).log2();
         let r = distributed_spanner(&g, &DistSpannerConfig::with_seed(3));
         let h = g.with_edge_ids(&r.edge_ids);
-        let s = if n <= 1000 { stretch::max_stretch(&g, &h) } else { f64::NAN };
+        let s = if n <= 1000 {
+            stretch::max_stretch(&g, &h)
+        } else {
+            f64::NAN
+        };
         rows.push(
             Row::new(format!("n = {n}"))
                 .push("m", g.m() as f64)
@@ -29,7 +35,10 @@ fn main() {
                 .push("rounds", r.metrics.rounds as f64)
                 .push("rounds/log^2 n", r.metrics.rounds as f64 / (log_n * log_n))
                 .push("messages", r.metrics.messages as f64)
-                .push("msgs/(m log n)", r.metrics.messages as f64 / (g.m() as f64 * log_n))
+                .push(
+                    "msgs/(m log n)",
+                    r.metrics.messages as f64 / (g.m() as f64 * log_n),
+                )
                 .push("max_bits", r.metrics.max_message_bits as f64)
                 .push("max_stretch", s),
         );

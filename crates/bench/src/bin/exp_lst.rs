@@ -15,7 +15,12 @@ use sgs_linalg::spectral::{approximation_bounds, CertifyOptions};
 fn main() {
     let workload = Workload::ErdosRenyi { n: 1000, deg: 80 };
     let g = workload.build(41);
-    println!("graph: {} with n = {}, m = {}", workload.label(), g.n(), g.m());
+    println!(
+        "graph: {} with n = {}, m = {}",
+        workload.label(),
+        g.n(),
+        g.m()
+    );
     let log_n = (g.n() as f64).log2();
 
     let mut rows = Vec::new();
@@ -24,11 +29,8 @@ fn main() {
             .with_bundle_sizing(BundleSizing::Fixed(t))
             .with_seed(3);
         let (spanner_out, spanner_ms) = time_ms(|| parallel_sample(&g, 0.5, &cfg));
-        let spanner_bounds = approximation_bounds(
-            &g,
-            &spanner_out.sparsifier,
-            &CertifyOptions::default(),
-        );
+        let spanner_bounds =
+            approximation_bounds(&g, &spanner_out.sparsifier, &CertifyOptions::default());
         let (tree_out, tree_ms) = time_ms(|| tree_bundle_sample(&g, t, &cfg));
         let tree_bounds =
             approximation_bounds(&g, &tree_out.sparsifier, &CertifyOptions::default());

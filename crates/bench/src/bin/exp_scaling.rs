@@ -31,9 +31,8 @@ fn main() {
             cfg.parallel = true;
             time_ms(|| parallel_sparsify(&g, &cfg))
         });
-        let (spanner_out, spanner_ms) = pool.install(|| {
-            time_ms(|| baswana_sen_spanner(&g, &SpannerConfig::with_seed(3)))
-        });
+        let (spanner_out, spanner_ms) =
+            pool.install(|| time_ms(|| baswana_sen_spanner(&g, &SpannerConfig::with_seed(3))));
         if threads == 1 {
             baseline_sparsify = sparsify_ms;
             baseline_spanner = spanner_ms;

@@ -74,8 +74,7 @@ fn main() {
     ] {
         let g = workload.build(31);
         let m = g.m();
-        let (solver, build_ms) =
-            time_ms(|| SddSolver::for_laplacian(g, SolverConfig::default()));
+        let (solver, build_ms) = time_ms(|| SddSolver::for_laplacian(g, SolverConfig::default()));
         let chain = solver.chain().expect("chain");
         rows.push(
             Row::new(workload.label())

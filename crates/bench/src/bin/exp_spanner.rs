@@ -27,15 +27,25 @@ fn main() {
             let h = result.to_graph(&g);
             // Max stretch is expensive on the largest instances; sample it on a subset
             // by computing it only for n <= 4000.
-            let max_stretch = if n <= 4000 { stretch::max_stretch(&g, &h) } else { f64::NAN };
+            let max_stretch = if n <= 4000 {
+                stretch::max_stretch(&g, &h)
+            } else {
+                f64::NAN
+            };
             rows.push(
                 Row::new(workload.label())
                     .push("m", g.m() as f64)
                     .push("spanner_edges", result.edge_ids.len() as f64)
-                    .push("edges/(n log n)", result.edge_ids.len() as f64 / (n as f64 * log_n))
+                    .push(
+                        "edges/(n log n)",
+                        result.edge_ids.len() as f64 / (n as f64 * log_n),
+                    )
                     .push("max_stretch", max_stretch)
                     .push("2 log n", 2.0 * log_n)
-                    .push("work/(m log n)", result.work as f64 / (g.m() as f64 * log_n))
+                    .push(
+                        "work/(m log n)",
+                        result.work as f64 / (g.m() as f64 * log_n),
+                    )
                     .push("time_ms", ms),
             );
         }

@@ -14,7 +14,12 @@ use sgs_linalg::spectral::CertifyOptions;
 fn main() {
     let workload = Workload::ErdosRenyi { n: 1500, deg: 120 };
     let g = workload.build(17);
-    println!("graph: {} with n = {}, m = {}", workload.label(), g.n(), g.m());
+    println!(
+        "graph: {} with n = {}, m = {}",
+        workload.label(),
+        g.n(),
+        g.m()
+    );
 
     let mut rows = Vec::new();
     for rho in [2.0f64, 4.0, 8.0, 16.0, 32.0, 64.0] {

@@ -102,7 +102,10 @@ pub struct Row {
 impl Row {
     /// Creates a row.
     pub fn new(label: impl Into<String>) -> Self {
-        Row { label: label.into(), values: Vec::new() }
+        Row {
+            label: label.into(),
+            values: Vec::new(),
+        }
     }
 
     /// Adds a named value.
@@ -139,7 +142,10 @@ pub fn print_table(title: &str, rows: &[Row]) {
         println!();
     }
     if std::env::args().any(|a| a == "--json") {
-        println!("{}", serde_json::to_string_pretty(rows).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(rows).expect("serializable rows")
+        );
     }
 }
 

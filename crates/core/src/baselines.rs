@@ -46,7 +46,10 @@ pub fn effective_resistance_sparsify(
     let n = g.n();
     let m = g.m();
     if m == 0 {
-        return BaselineOutput { sparsifier: g.clone(), solves: 0 };
+        return BaselineOutput {
+            sparsifier: g.clone(),
+            solves: 0,
+        };
     }
     let jl_factor = 4.0;
     let resistances = approx_effective_resistances(g, jl_factor, seed);
@@ -72,7 +75,10 @@ pub fn effective_resistance_sparsify(
         let w = e.w / (q as f64 * p_e);
         let _ = builder.add(e.u, e.v, w);
     }
-    BaselineOutput { sparsifier: builder.build(), solves }
+    BaselineOutput {
+        sparsifier: builder.build(),
+        solves,
+    }
 }
 
 /// Plain uniform sampling: keep each edge with probability `p`, reweighted by `1/p`.
@@ -85,7 +91,10 @@ pub fn uniform_sparsify(g: &Graph, p: f64, seed: u64) -> BaselineOutput {
             out.push_edge_unchecked(e.u, e.v, e.w / p);
         }
     }
-    BaselineOutput { sparsifier: out, solves: 0 }
+    BaselineOutput {
+        sparsifier: out,
+        solves: 0,
+    }
 }
 
 /// Spanner-plus-uniform-oversampling: keep one Baswana–Sen spanner at its original
@@ -108,7 +117,10 @@ pub fn spanner_oversampling_sparsify(g: &Graph, p: f64, seed: u64) -> BaselineOu
             }
         }
     }
-    BaselineOutput { sparsifier: out, solves: 0 }
+    BaselineOutput {
+        sparsifier: out,
+        solves: 0,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +134,10 @@ mod tests {
         let g = generators::erdos_renyi(150, 0.4, 1.0, 3);
         let out = effective_resistance_sparsify(&g, 0.5, 1.0, 7);
         assert!(out.solves > 0);
-        assert!(is_connected(&out.sparsifier), "ER sampling keeps the graph connected whp");
+        assert!(
+            is_connected(&out.sparsifier),
+            "ER sampling keeps the graph connected whp"
+        );
         let b = approximation_bounds(&g, &out.sparsifier, &CertifyOptions::default());
         assert!(b.lower > 0.4 && b.upper < 2.0, "{b:?}");
     }
@@ -143,7 +158,11 @@ mod tests {
         assert!((got - expected).abs() < 5.0 * expected.sqrt() + 10.0);
         assert_eq!(out.solves, 0);
         // Weights are reweighted by 4.
-        assert!(out.sparsifier.edges().iter().all(|e| (e.w - 4.0).abs() < 1e-12));
+        assert!(out
+            .sparsifier
+            .edges()
+            .iter()
+            .all(|e| (e.w - 4.0).abs() < 1e-12));
     }
 
     #[test]
@@ -159,7 +178,10 @@ mod tests {
                 disconnected += 1;
             }
         }
-        assert!(disconnected >= 10, "only {disconnected}/20 runs disconnected the barbell");
+        assert!(
+            disconnected >= 10,
+            "only {disconnected}/20 runs disconnected the barbell"
+        );
         for seed in 0..5 {
             let out = spanner_oversampling_sparsify(&g, 0.25, seed);
             assert!(is_connected(&out.sparsifier));

@@ -1,5 +1,6 @@
 //! Configuration of the sparsification algorithms.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// How the bundle parameter `t` of `PARALLELSAMPLE` is chosen.
@@ -10,7 +11,8 @@ use serde::{Deserialize, Serialize};
 /// constant-factor phenomenon (the analysis is worst-case over the matrix Chernoff
 /// bound), and every implementation of resistance-based sampling scales such constants
 /// down. The enum makes the choice explicit and lets experiments sweep it.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum BundleSizing {
     /// The paper's constant: `t = ⌈24 log₂² n / ε²⌉`.
     Paper,
@@ -35,7 +37,8 @@ impl BundleSizing {
 }
 
 /// Configuration of `PARALLELSAMPLE` / `PARALLELSPARSIFY`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SparsifyConfig {
     /// Overall accuracy target `ε` (the output is a `(1 ± ε)` approximation w.h.p.).
     pub epsilon: f64,

@@ -106,7 +106,13 @@ pub fn tree_bundle_sample(g: &Graph, t: usize, cfg: &SparsifyConfig) -> TreeBund
         bundle_t_per_round: vec![t],
         bundle_edges_per_round: vec![bundle_edges],
     };
-    TreeBundleOutput { sparsifier, trees, bundle_edges, sampled_edges, stats }
+    TreeBundleOutput {
+        sparsifier,
+        trees,
+        bundle_edges,
+        sampled_edges,
+        stats,
+    }
 }
 
 /// The iterated (Algorithm 2 style) version of the tree-bundle sparsifier.

@@ -85,7 +85,9 @@ pub fn parallel_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> SampleOutpu
             .filter_map(|id| decide(id).map(|w| (id, w)))
             .collect()
     } else {
-        (0..m).filter_map(|id| decide(id).map(|w| (id, w))).collect()
+        (0..m)
+            .filter_map(|id| decide(id).map(|w| (id, w)))
+            .collect()
     };
 
     let mut sparsifier = Graph::with_capacity(n, kept.len());
@@ -110,7 +112,13 @@ pub fn parallel_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> SampleOutpu
         bundle_edges_per_round: vec![bundle.bundle_size],
     };
 
-    SampleOutput { sparsifier, bundle_edges, sampled_edges, t, stats }
+    SampleOutput {
+        sparsifier,
+        bundle_edges,
+        sampled_edges,
+        t,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -182,7 +190,11 @@ mod tests {
     #[test]
     fn spectral_quality_is_reasonable_on_dense_graph() {
         let g = generators::erdos_renyi(200, 0.5, 1.0, 11);
-        let out = parallel_sample(&g, 0.5, &base_cfg().with_bundle_sizing(BundleSizing::Fixed(6)));
+        let out = parallel_sample(
+            &g,
+            0.5,
+            &base_cfg().with_bundle_sizing(BundleSizing::Fixed(6)),
+        );
         let bounds = approximation_bounds(&g, &out.sparsifier, &CertifyOptions::default());
         // With a practical bundle the guarantee is looser than the paper's 1±ε, but the
         // approximation must still be two-sided and far from degenerate.
@@ -205,7 +217,9 @@ mod tests {
         // With the paper's t = 24 log²n/ε² the bundle contains every edge of a small
         // graph, so the output equals the input exactly — the algorithm never harms.
         let g = generators::erdos_renyi(100, 0.3, 1.0, 2);
-        let cfg = SparsifyConfig::new(0.5, 2.0).with_paper_constants().with_seed(3);
+        let cfg = SparsifyConfig::new(0.5, 2.0)
+            .with_paper_constants()
+            .with_seed(3);
         let out = parallel_sample(&g, 0.5, &cfg);
         assert_eq!(out.sparsifier.m(), g.m());
         assert_eq!(out.sampled_edges, 0);

@@ -6,10 +6,12 @@
 //! number of outer rounds as the depth proxy. Experiments E5 and E6 check that these
 //! counters scale like the bounds of Theorem 5.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Aggregated counters for one sparsification run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct WorkStats {
     /// Edge examinations performed by spanner/bundle constructions.
     pub spanner_work: u64,
@@ -36,9 +38,12 @@ impl WorkStats {
         self.spanner_work += other.spanner_work;
         self.sampling_work += other.sampling_work;
         self.rounds += other.rounds;
-        self.edges_per_round.extend_from_slice(&other.edges_per_round);
-        self.bundle_t_per_round.extend_from_slice(&other.bundle_t_per_round);
-        self.bundle_edges_per_round.extend_from_slice(&other.bundle_edges_per_round);
+        self.edges_per_round
+            .extend_from_slice(&other.edges_per_round);
+        self.bundle_t_per_round
+            .extend_from_slice(&other.bundle_t_per_round);
+        self.bundle_edges_per_round
+            .extend_from_slice(&other.bundle_edges_per_round);
     }
 }
 

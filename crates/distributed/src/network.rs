@@ -113,8 +113,12 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
 
     /// Broadcasts a message from `from` to all of its neighbors.
     pub fn broadcast(&mut self, from: NodeId, msg: M) {
-        let neighbors: Vec<NodeId> =
-            self.adjacency.neighbors(from).iter().map(|nb| nb.node).collect();
+        let neighbors: Vec<NodeId> = self
+            .adjacency
+            .neighbors(from)
+            .iter()
+            .map(|nb| nb.node)
+            .collect();
         for to in neighbors {
             self.send(from, to, msg.clone());
         }
@@ -163,11 +167,17 @@ mod tests {
         let g = generators::path(3, 1.0);
         let mut net: SyncNetwork<Ping> = SyncNetwork::new(&g);
         net.send(0, 1, Ping(7));
-        assert!(net.inbox(1).is_empty(), "not delivered within the same round");
+        assert!(
+            net.inbox(1).is_empty(),
+            "not delivered within the same round"
+        );
         net.advance_round();
         assert_eq!(net.inbox(1), &[(0, Ping(7))]);
         net.advance_round();
-        assert!(net.inbox(1).is_empty(), "inbox is cleared after the next round");
+        assert!(
+            net.inbox(1).is_empty(),
+            "inbox is cleared after the next round"
+        );
     }
 
     #[test]
@@ -210,8 +220,18 @@ mod tests {
 
     #[test]
     fn metrics_absorb_adds_up() {
-        let mut a = NetworkMetrics { rounds: 2, messages: 10, total_bits: 640, max_message_bits: 64 };
-        let b = NetworkMetrics { rounds: 3, messages: 5, total_bits: 100, max_message_bits: 20 };
+        let mut a = NetworkMetrics {
+            rounds: 2,
+            messages: 10,
+            total_bits: 640,
+            max_message_bits: 64,
+        };
+        let b = NetworkMetrics {
+            rounds: 3,
+            messages: 5,
+            total_bits: 100,
+            max_message_bits: 20,
+        };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
         assert_eq!(a.messages, 15);

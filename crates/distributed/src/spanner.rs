@@ -75,14 +75,20 @@ pub struct DistSpannerConfig {
 
 impl Default for DistSpannerConfig {
     fn default() -> Self {
-        DistSpannerConfig { k: None, seed: 0xD157 }
+        DistSpannerConfig {
+            k: None,
+            seed: 0xD157,
+        }
     }
 }
 
 impl DistSpannerConfig {
     /// Config with an explicit seed.
     pub fn with_seed(seed: u64) -> Self {
-        DistSpannerConfig { seed, ..Default::default() }
+        DistSpannerConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Overrides the stretch parameter.
@@ -123,7 +129,10 @@ pub fn distributed_spanner_on_edges(
     cfg: &DistSpannerConfig,
 ) -> DistSpannerResult {
     let n = g.n();
-    let k = cfg.k.unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize).max(1);
+    let k = cfg
+        .k
+        .unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize)
+        .max(1);
     if n <= 2 || k <= 1 || active.is_empty() {
         return DistSpannerResult {
             edge_ids: active.to_vec(),
@@ -154,7 +163,9 @@ pub fn distributed_spanner_on_edges(
 
     for iteration in 1..k {
         // --- Phase A: cluster centers sample themselves; flags travel down the trees.
-        let sampled_centers: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < (n as f64).powf(-1.0 / k as f64)).collect();
+        let sampled_centers: Vec<bool> = (0..n)
+            .map(|_| rng.gen::<f64>() < (n as f64).powf(-1.0 / k as f64))
+            .collect();
         let mut knows_flag = vec![false; n];
         for v in 0..n {
             if state[v].center == Some(v) {
@@ -190,21 +201,24 @@ pub fn distributed_spanner_on_edges(
         }
 
         // --- Phase B: every clustered vertex tells its neighbors its cluster info.
-        for v in 0..n {
-            if state[v].center.is_some() {
+        for (v, st) in state.iter().enumerate() {
+            if st.center.is_some() {
                 net.broadcast(
                     v,
-                    SpannerMsg::ClusterInfo { center: state[v].center, sampled: state[v].sampled },
+                    SpannerMsg::ClusterInfo {
+                        center: st.center,
+                        sampled: st.sampled,
+                    },
                 );
             }
         }
         net.advance_round();
-        for v in 0..n {
-            state[v].neighbor_info.clear();
+        for (v, st) in state.iter_mut().enumerate() {
+            st.neighbor_info.clear();
             let inbox = net.take_inbox(v);
             for (from, msg) in inbox {
                 if let SpannerMsg::ClusterInfo { center, sampled } = msg {
-                    state[v].neighbor_info.insert(from, (center, sampled));
+                    st.neighbor_info.insert(from, (center, sampled));
                 }
             }
         }
@@ -218,6 +232,14 @@ pub fn distributed_spanner_on_edges(
             add: Vec<EdgeId>,
             kill: Vec<(NodeId, EdgeId)>,
         }
+        /// Edges from one vertex into a single adjacent cluster: the lightest edge
+        /// (weight, id, neighbor endpoint) plus every member edge for kill bookkeeping.
+        struct AdjacentCluster {
+            min_w: f64,
+            min_edge: EdgeId,
+            min_neighbor: NodeId,
+            members: Vec<(NodeId, EdgeId)>,
+        }
         let mut outcomes: Vec<Option<PhaseCOut>> = (0..n).map(|_| None).collect();
         for v in 0..n {
             let c_v = match state[v].center {
@@ -228,8 +250,7 @@ pub fn distributed_spanner_on_edges(
                 continue; // members of sampled clusters carry over
             }
             // Group alive edges by the neighbor's cluster.
-            let mut groups: BTreeMap<NodeId, (f64, EdgeId, NodeId, Vec<(NodeId, EdgeId)>)> =
-                BTreeMap::new();
+            let mut groups: BTreeMap<NodeId, AdjacentCluster> = BTreeMap::new();
             for (&eid, &(other, w)) in &state[v].alive {
                 let (other_center, other_sampled) = match state[v].neighbor_info.get(&other) {
                     Some(&(Some(c), s)) => (c, s),
@@ -238,15 +259,18 @@ pub fn distributed_spanner_on_edges(
                 if other_center == c_v {
                     continue;
                 }
-                let entry = groups
-                    .entry(other_center)
-                    .or_insert((f64::INFINITY, EdgeId::MAX, other, Vec::new()));
-                if w < entry.0 {
-                    entry.0 = w;
-                    entry.1 = eid;
-                    entry.2 = other;
+                let entry = groups.entry(other_center).or_insert(AdjacentCluster {
+                    min_w: f64::INFINITY,
+                    min_edge: EdgeId::MAX,
+                    min_neighbor: other,
+                    members: Vec::new(),
+                });
+                if w < entry.min_w {
+                    entry.min_w = w;
+                    entry.min_edge = eid;
+                    entry.min_neighbor = other;
                 }
-                entry.3.push((other, eid));
+                entry.members.push((other, eid));
                 // Remember whether this cluster is sampled by stashing it via the flag
                 // of any reporting member (all members report the same flag).
                 let _ = other_sampled;
@@ -260,28 +284,37 @@ pub fn distributed_spanner_on_edges(
             // Lightest edge into a sampled adjacent cluster, deterministic tie-break.
             let best_sampled = groups
                 .iter()
-                .filter(|(_, (_, _, other, _))| {
-                    matches!(state[v].neighbor_info.get(other), Some(&(_, true)))
+                .filter(|(_, grp)| {
+                    matches!(
+                        state[v].neighbor_info.get(&grp.min_neighbor),
+                        Some(&(_, true))
+                    )
                 })
-                .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap().then_with(|| a.0.cmp(b.0)));
+                .min_by(|a, b| {
+                    a.1.min_w
+                        .partial_cmp(&b.1.min_w)
+                        .unwrap()
+                        .then_with(|| a.0.cmp(b.0))
+                })
+                .map(|(&c, grp)| (c, grp.min_w, grp.min_edge, grp.min_neighbor));
             match best_sampled {
                 None => {
-                    for (_, (_, best_eid, _, all)) in groups {
-                        out.add.push(best_eid);
-                        out.kill.extend(all);
+                    for (_, grp) in groups {
+                        out.add.push(grp.min_edge);
+                        out.kill.extend(grp.members);
                     }
                     out.unclustered = true;
                 }
-                Some((&c_star, &(w_star, best_eid, best_other, _))) => {
+                Some((c_star, w_star, best_eid, best_other)) => {
                     out.new_center = Some(c_star);
                     out.new_parent = Some(best_other);
                     out.add.push(best_eid);
-                    for (c, (w_c, best_e, _, all)) in groups {
+                    for (c, grp) in groups {
                         if c == c_star {
-                            out.kill.extend(all);
-                        } else if w_c < w_star {
-                            out.add.push(best_e);
-                            out.kill.extend(all);
+                            out.kill.extend(grp.members);
+                        } else if grp.min_w < w_star {
+                            out.add.push(grp.min_edge);
+                            out.kill.extend(grp.members);
                         }
                     }
                 }
@@ -307,8 +340,11 @@ pub fn distributed_spanner_on_edges(
                 state[v].parent = None;
                 state[v].children.clear();
                 // Edges of an unclustered vertex leave the protocol entirely.
-                let remaining: Vec<(NodeId, EdgeId)> =
-                    state[v].alive.iter().map(|(&eid, &(other, _))| (other, eid)).collect();
+                let remaining: Vec<(NodeId, EdgeId)> = state[v]
+                    .alive
+                    .iter()
+                    .map(|(&eid, &(other, _))| (other, eid))
+                    .collect();
                 for (other, eid) in remaining {
                     state[v].alive.remove(&eid);
                     net.send(v, other, SpannerMsg::Kill { edge: eid });
@@ -321,15 +357,15 @@ pub fn distributed_spanner_on_edges(
             }
         }
         net.advance_round();
-        for v in 0..n {
+        for (v, st) in state.iter_mut().enumerate() {
             let inbox = net.take_inbox(v);
             for (from, msg) in inbox {
                 match msg {
                     SpannerMsg::Kill { edge } => {
-                        state[v].alive.remove(&edge);
+                        st.alive.remove(&edge);
                     }
                     SpannerMsg::Child => {
-                        state[v].children.push(from);
+                        st.children.push(from);
                     }
                     _ => {}
                 }
@@ -340,55 +376,51 @@ pub fn distributed_spanner_on_edges(
         // the shared center in the next exchange). We drop them here to keep `alive`
         // small; each endpoint discovers the same fact symmetrically next iteration, so
         // we only drop those already observable from the latest exchange.
-        for v in 0..n {
-            if let Some(c_v) = state[v].center {
-                let drop: Vec<EdgeId> = state[v]
-                    .alive
-                    .iter()
-                    .filter_map(|(&eid, &(other, _))| {
-                        match state[v].neighbor_info.get(&other) {
-                            Some(&(Some(c_o), _)) if c_o == c_v => Some(eid),
-                            _ => None,
-                        }
-                    })
-                    .collect();
-                for eid in drop {
-                    state[v].alive.remove(&eid);
-                }
+        for st in state.iter_mut() {
+            if let Some(c_v) = st.center {
+                let neighbor_info = &st.neighbor_info;
+                st.alive.retain(|_, &mut (other, _)| {
+                    !matches!(neighbor_info.get(&other), Some(&(Some(c_o), _)) if c_o == c_v)
+                });
             }
         }
     }
 
     // --- Phase 2: final vertex–cluster joining.
-    for v in 0..n {
-        if state[v].center.is_some() {
+    for (v, st) in state.iter().enumerate() {
+        if st.center.is_some() {
             net.broadcast(
                 v,
-                SpannerMsg::ClusterInfo { center: state[v].center, sampled: state[v].sampled },
+                SpannerMsg::ClusterInfo {
+                    center: st.center,
+                    sampled: st.sampled,
+                },
             );
         }
     }
     net.advance_round();
-    for v in 0..n {
-        state[v].neighbor_info.clear();
+    for (v, st) in state.iter_mut().enumerate() {
+        st.neighbor_info.clear();
         let inbox = net.take_inbox(v);
         for (from, msg) in inbox {
             if let SpannerMsg::ClusterInfo { center, sampled } = msg {
-                state[v].neighbor_info.insert(from, (center, sampled));
+                st.neighbor_info.insert(from, (center, sampled));
             }
         }
     }
-    for v in 0..n {
+    for st in state.iter() {
         let mut best: BTreeMap<NodeId, (f64, EdgeId)> = BTreeMap::new();
-        for (&eid, &(other, w)) in &state[v].alive {
-            let other_center = match state[v].neighbor_info.get(&other) {
+        for (&eid, &(other, w)) in &st.alive {
+            let other_center = match st.neighbor_info.get(&other) {
                 Some(&(Some(c), _)) => c,
                 _ => continue,
             };
-            if state[v].center == Some(other_center) {
+            if st.center == Some(other_center) {
                 continue;
             }
-            let entry = best.entry(other_center).or_insert((f64::INFINITY, EdgeId::MAX));
+            let entry = best
+                .entry(other_center)
+                .or_insert((f64::INFINITY, EdgeId::MAX));
             if w < entry.0 {
                 *entry = (w, eid);
             }
@@ -404,7 +436,10 @@ pub fn distributed_spanner_on_edges(
         .filter_map(|(id, &inb)| if inb { Some(id) } else { None })
         .collect();
     edge_ids.sort_unstable();
-    DistSpannerResult { edge_ids, metrics: net.metrics().clone() }
+    DistSpannerResult {
+        edge_ids,
+        metrics: net.metrics().clone(),
+    }
 }
 
 /// Runs the distributed Baswana–Sen spanner on all edges of `g`.
@@ -436,7 +471,10 @@ mod tests {
         let k = (64f64).log2().ceil() as usize;
         let r = distributed_spanner(&g, &DistSpannerConfig::with_seed(3));
         verify_spanner(&g, &r, k);
-        assert!(r.edge_ids.len() < g.m() / 2, "spanner should be much smaller than K_n");
+        assert!(
+            r.edge_ids.len() < g.m() / 2,
+            "spanner should be much smaller than K_n"
+        );
     }
 
     #[test]
@@ -461,10 +499,18 @@ mod tests {
         let r = distributed_spanner(&g, &DistSpannerConfig::with_seed(5));
         // Rounds: O(log^2 n). Constant chosen generously but meaningfully.
         let round_bound = (4.0 * k * k) as usize + 10;
-        assert!(r.metrics.rounds <= round_bound, "rounds {} > {round_bound}", r.metrics.rounds);
+        assert!(
+            r.metrics.rounds <= round_bound,
+            "rounds {} > {round_bound}",
+            r.metrics.rounds
+        );
         // Communication: O(m log n) messages.
         let msg_bound = 6 * m * k as u64 + 1000;
-        assert!(r.metrics.messages <= msg_bound, "messages {} > {msg_bound}", r.metrics.messages);
+        assert!(
+            r.metrics.messages <= msg_bound,
+            "messages {} > {msg_bound}",
+            r.metrics.messages
+        );
         // Message size: O(log n) bits.
         assert!(r.metrics.max_message_bits <= 64);
     }
@@ -476,7 +522,10 @@ mod tests {
         let r = distributed_spanner_on_edges(&g, &active, &DistSpannerConfig::with_seed(1));
         let active_set: std::collections::HashSet<_> = active.iter().copied().collect();
         for id in &r.edge_ids {
-            assert!(active_set.contains(id), "edge {id} was not in the active set");
+            assert!(
+                active_set.contains(id),
+                "edge {id} was not in the active set"
+            );
         }
     }
 

@@ -49,7 +49,8 @@ pub fn distributed_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> DistSpar
             break;
         }
         let spanner_cfg = DistSpannerConfig::with_seed(
-            cfg.seed.wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            cfg.seed
+                .wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15)),
         );
         let result = distributed_spanner_on_edges(g, &active, &spanner_cfg);
         metrics.absorb(&result.metrics);
@@ -76,7 +77,12 @@ pub fn distributed_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> DistSpar
         }
     }
 
-    DistSparsifyResult { sparsifier, metrics, rounds_executed: 1, bundle_edges }
+    DistSparsifyResult {
+        sparsifier,
+        metrics,
+        rounds_executed: 1,
+        bundle_edges,
+    }
 }
 
 /// Distributed `PARALLELSPARSIFY`: `⌈log ρ⌉` rounds of [`distributed_sample`].
@@ -103,7 +109,12 @@ pub fn distributed_sparsify(g: &Graph, cfg: &SparsifyConfig) -> DistSparsifyResu
         current = out.sparsifier;
         rounds_executed += 1;
     }
-    DistSparsifyResult { sparsifier: current, metrics, rounds_executed, bundle_edges }
+    DistSparsifyResult {
+        sparsifier: current,
+        metrics,
+        rounds_executed,
+        bundle_edges,
+    }
 }
 
 #[cfg(test)]
@@ -134,11 +145,7 @@ mod tests {
     fn communication_scales_with_bundle_size() {
         let g = generators::erdos_renyi(120, 0.25, 1.0, 7);
         let small = distributed_sample(&g, 0.75, &cfg(1));
-        let big = distributed_sample(
-            &g,
-            0.75,
-            &cfg(1).with_bundle_sizing(BundleSizing::Fixed(6)),
-        );
+        let big = distributed_sample(&g, 0.75, &cfg(1).with_bundle_sizing(BundleSizing::Fixed(6)));
         assert!(big.metrics.rounds > small.metrics.rounds);
         assert!(big.metrics.messages > small.metrics.messages);
     }
@@ -148,26 +155,27 @@ mod tests {
         let n = 100usize;
         let g = generators::erdos_renyi(n, 0.25, 1.0, 13);
         let t = 3usize;
-        let out = distributed_sample(
-            &g,
-            0.75,
-            &cfg(5).with_bundle_sizing(BundleSizing::Fixed(t)),
-        );
+        let out = distributed_sample(&g, 0.75, &cfg(5).with_bundle_sizing(BundleSizing::Fixed(t)));
         let k = (n as f64).log2().ceil();
         let round_bound = (t as f64 * 4.0 * k * k) as usize + 10 * t;
         let msg_bound = (t as u64) * (6 * g.m() as u64 * k as u64 + 1000);
-        assert!(out.metrics.rounds <= round_bound, "rounds {} > {round_bound}", out.metrics.rounds);
-        assert!(out.metrics.messages <= msg_bound, "messages {} > {msg_bound}", out.metrics.messages);
+        assert!(
+            out.metrics.rounds <= round_bound,
+            "rounds {} > {round_bound}",
+            out.metrics.rounds
+        );
+        assert!(
+            out.metrics.messages <= msg_bound,
+            "messages {} > {msg_bound}",
+            out.metrics.messages
+        );
         assert!(out.metrics.max_message_bits <= 64);
     }
 
     #[test]
     fn distributed_sparsify_matches_shared_memory_shape() {
         let g = generators::erdos_renyi(200, 0.4, 1.0, 17);
-        let out = distributed_sparsify(
-            &g,
-            &cfg(3).with_bundle_sizing(BundleSizing::Fixed(4)),
-        );
+        let out = distributed_sparsify(&g, &cfg(3).with_bundle_sizing(BundleSizing::Fixed(4)));
         assert!(out.rounds_executed >= 1);
         assert!(out.sparsifier.m() < g.m(), "must shrink a dense graph");
         assert!(is_connected(&out.sparsifier));

@@ -20,7 +20,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, weights: HashMap::new() }
+        GraphBuilder {
+            n,
+            weights: HashMap::new(),
+        }
     }
 
     /// Number of vertices.
@@ -36,10 +39,16 @@ impl GraphBuilder {
     /// Adds an edge, accumulating weight onto an existing edge with the same endpoints.
     pub fn add(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<&mut Self> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -55,7 +64,10 @@ impl GraphBuilder {
     /// Adds every edge of `g`, accumulating duplicate pairs.
     pub fn add_graph(&mut self, g: &Graph) -> Result<&mut Self> {
         if g.n() != self.n {
-            return Err(GraphError::SizeMismatch { left: self.n, right: g.n() });
+            return Err(GraphError::SizeMismatch {
+                left: self.n,
+                right: g.n(),
+            });
         }
         for e in g.edges() {
             self.add(e.u, e.v, e.w)?;
@@ -119,7 +131,10 @@ mod tests {
     fn add_graph_checks_size() {
         let g = Graph::from_tuples(3, vec![(0, 1, 1.0)]).unwrap();
         let mut b = GraphBuilder::new(4);
-        assert!(matches!(b.add_graph(&g), Err(GraphError::SizeMismatch { .. })));
+        assert!(matches!(
+            b.add_graph(&g),
+            Err(GraphError::SizeMismatch { .. })
+        ));
         let mut b = GraphBuilder::new(3);
         b.add_graph(&g).unwrap();
         b.add_graph(&g).unwrap();

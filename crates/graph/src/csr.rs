@@ -45,16 +45,33 @@ impl Adjacency {
         let offsets = counts.clone();
         let mut cursor = counts;
         let mut entries = vec![
-            Neighbor { node: 0, weight: 0.0, edge: 0 };
+            Neighbor {
+                node: 0,
+                weight: 0.0,
+                edge: 0
+            };
             2 * m
         ];
         for (id, e) in g.edges().iter().enumerate() {
-            entries[cursor[e.u]] = Neighbor { node: e.v, weight: e.w, edge: id };
+            entries[cursor[e.u]] = Neighbor {
+                node: e.v,
+                weight: e.w,
+                edge: id,
+            };
             cursor[e.u] += 1;
-            entries[cursor[e.v]] = Neighbor { node: e.u, weight: e.w, edge: id };
+            entries[cursor[e.v]] = Neighbor {
+                node: e.u,
+                weight: e.w,
+                edge: id,
+            };
             cursor[e.v] += 1;
         }
-        Adjacency { offsets, entries, n, m }
+        Adjacency {
+            offsets,
+            entries,
+            n,
+            m,
+        }
     }
 
     /// Number of vertices.
@@ -125,8 +142,8 @@ mod tests {
         let g = path4();
         let adj = g.adjacency();
         let d = g.weighted_degrees();
-        for v in 0..4 {
-            assert!((adj.weighted_degree(v) - d[v]).abs() < 1e-12);
+        for (v, dv) in d.iter().enumerate() {
+            assert!((adj.weighted_degree(v) - dv).abs() < 1e-12);
         }
     }
 

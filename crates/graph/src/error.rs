@@ -45,10 +45,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::NonPositiveWeight { weight } => {
-                write!(f, "edge weight {weight} is not strictly positive and finite")
+                write!(
+                    f,
+                    "edge weight {weight} is not strictly positive and finite"
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self-loop at vertex {vertex}"),
             GraphError::Disconnected => write!(f, "graph is not connected"),

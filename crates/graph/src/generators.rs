@@ -104,7 +104,10 @@ pub fn grid_spanning_tree(rows: usize, cols: usize, w: f64) -> Graph {
 
 /// 2-D torus (grid with wraparound) with uniform weight `w`.
 pub fn torus2d(rows: usize, cols: usize, w: f64) -> Graph {
-    assert!(rows >= 3 && cols >= 3, "torus needs at least 3 rows and 3 columns");
+    assert!(
+        rows >= 3 && cols >= 3,
+        "torus needs at least 3 rows and 3 columns"
+    );
     let n = rows * cols;
     let mut g = Graph::with_capacity(n, 2 * n);
     for r in 0..rows {
@@ -416,7 +419,10 @@ mod tests {
         let g = erdos_renyi(n, p, 1.0, 7);
         let expected = p * (n * (n - 1) / 2) as f64;
         let m = g.m() as f64;
-        assert!(m > expected * 0.8 && m < expected * 1.2, "m = {m}, expected ≈ {expected}");
+        assert!(
+            m > expected * 0.8 && m < expected * 1.2,
+            "m = {m}, expected ≈ {expected}"
+        );
         // Edge endpoints must be valid and distinct.
         for e in g.edges() {
             assert!(e.u < n && e.v < n && e.u != e.v);

@@ -69,12 +69,18 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        Graph { n, edges: Vec::new() }
+        Graph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates an empty graph with `n` vertices, reserving capacity for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        Graph { n, edges: Vec::with_capacity(m) }
+        Graph {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Builds a graph from an explicit edge list, validating every edge.
@@ -117,10 +123,16 @@ impl Graph {
     /// Validates and appends an edge, returning its [`EdgeId`].
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<EdgeId> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -323,7 +335,10 @@ mod tests {
             g.add_edge(0, 3, 1.0),
             Err(GraphError::VertexOutOfRange { vertex: 3, n: 3 })
         ));
-        assert!(matches!(g.add_edge(1, 1, 1.0), Err(GraphError::SelfLoop { vertex: 1 })));
+        assert!(matches!(
+            g.add_edge(1, 1, 1.0),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
         assert!(matches!(
             g.add_edge(0, 1, 0.0),
             Err(GraphError::NonPositiveWeight { .. })

@@ -55,7 +55,9 @@ pub fn conductance(g: &Graph, side: &[bool]) -> f64 {
 /// The cut indicator quadratic form identity: `xᵀ L x = cut(S)` for the 0/1 indicator
 /// vector of `S`. Exposed as a helper because several tests use it.
 pub fn indicator_vector(n: usize, set: &HashSet<NodeId>) -> Vec<f64> {
-    (0..n).map(|v| if set.contains(&v) { 1.0 } else { 0.0 }).collect()
+    (0..n)
+        .map(|v| if set.contains(&v) { 1.0 } else { 0.0 })
+        .collect()
 }
 
 /// Summary statistics of the (unweighted) degree distribution.
@@ -82,8 +84,16 @@ pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
     let max = *degrees.iter().max().unwrap();
     let mean = degrees.iter().sum::<usize>() as f64 / g.n() as f64;
     let hub_threshold = 10.0 * mean;
-    let hubs = degrees.iter().filter(|&&d| d as f64 >= hub_threshold && d > 0).count();
-    Some(DegreeStats { min, max, mean, hub_fraction: hubs as f64 / g.n() as f64 })
+    let hubs = degrees
+        .iter()
+        .filter(|&&d| d as f64 >= hub_threshold && d > 0)
+        .count();
+    Some(DegreeStats {
+        min,
+        max,
+        mean,
+        hub_fraction: hubs as f64 / g.n() as f64,
+    })
 }
 
 #[cfg(test)]
@@ -130,11 +140,17 @@ mod tests {
         let g = generators::random_regular(200, 8, 1.0, 5);
         let side: Vec<bool> = (0..200).map(|v| v < 100).collect();
         let phi = conductance(&g, &side);
-        assert!(phi > 0.1, "random regular graphs have no sparse balanced cuts, phi = {phi}");
+        assert!(
+            phi > 0.1,
+            "random regular graphs have no sparse balanced cuts, phi = {phi}"
+        );
         let dumbbell = generators::expander_dumbbell(100, 8, 1.0, 0.01, 7);
         let side: Vec<bool> = (0..200).map(|v| v < 100).collect();
         let phi_weak = conductance(&dumbbell, &side);
-        assert!(phi_weak < 1e-3, "the dumbbell cut is sparse, phi = {phi_weak}");
+        assert!(
+            phi_weak < 1e-3,
+            "the dumbbell cut is sparse, phi = {phi_weak}"
+        );
     }
 
     #[test]

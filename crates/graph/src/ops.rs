@@ -13,7 +13,10 @@ use crate::graph::{EdgeId, Graph};
 /// Laplacian of the result is `L_{G₁} + L_{G₂}`.
 pub fn add(g1: &Graph, g2: &Graph) -> Result<Graph> {
     if g1.n() != g2.n() {
-        return Err(GraphError::SizeMismatch { left: g1.n(), right: g2.n() });
+        return Err(GraphError::SizeMismatch {
+            left: g1.n(),
+            right: g2.n(),
+        });
     }
     let mut out = Graph::with_capacity(g1.n(), g1.m() + g2.m());
     for e in g1.edges() {
@@ -100,7 +103,10 @@ mod tests {
     fn add_rejects_mismatched_sizes() {
         let g1 = generators::path(3, 1.0);
         let g2 = generators::path(4, 1.0);
-        assert!(matches!(add(&g1, &g2), Err(GraphError::SizeMismatch { .. })));
+        assert!(matches!(
+            add(&g1, &g2),
+            Err(GraphError::SizeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -144,8 +150,6 @@ mod tests {
         assert_eq!(a.m(), 5);
         // Quadratic forms add back up.
         let x: Vec<f64> = (0..5).map(|i| i as f64).collect();
-        assert!(
-            (a.quadratic_form(&x) + b.quadratic_form(&x) - g.quadratic_form(&x)).abs() < 1e-9
-        );
+        assert!((a.quadratic_form(&x) + b.quadratic_form(&x) - g.quadratic_form(&x)).abs() < 1e-9);
     }
 }

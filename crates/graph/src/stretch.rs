@@ -135,7 +135,12 @@ mod tests {
         let adj = h.adjacency();
         for (id, e) in g.edges().iter().enumerate() {
             let single = edge_stretch(&adj, e);
-            assert!((all[id] - single).abs() < 1e-9, "edge {id}: {} vs {}", all[id], single);
+            assert!(
+                (all[id] - single).abs() < 1e-9,
+                "edge {id}: {} vs {}",
+                all[id],
+                single
+            );
         }
     }
 }

@@ -75,7 +75,10 @@ where
     let mut dist = vec![f64::INFINITY; adj.n()];
     let mut heap = BinaryHeap::new();
     dist[source] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     let limit = cutoff.unwrap_or(f64::INFINITY);
     while let Some(HeapEntry { dist: d, node: v }) = heap.pop() {
         if d > dist[v] {
@@ -88,7 +91,10 @@ where
             let nd = d + length(nb.weight);
             if nd < dist[nb.node] {
                 dist[nb.node] = nd;
-                heap.push(HeapEntry { dist: nd, node: nb.node });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: nb.node,
+                });
             }
         }
     }
@@ -168,11 +174,7 @@ mod tests {
     #[test]
     fn dijkstra_prefers_lighter_resistance_path() {
         // Two paths from 0 to 2: direct heavy-resistance edge vs. light two-hop path.
-        let g = Graph::from_tuples(
-            3,
-            vec![(0, 2, 0.1), (0, 1, 10.0), (1, 2, 10.0)],
-        )
-        .unwrap();
+        let g = Graph::from_tuples(3, vec![(0, 2, 0.1), (0, 1, 10.0), (1, 2, 10.0)]).unwrap();
         let adj = g.adjacency();
         let d = dijkstra_resistance(&adj, 0);
         // direct: 1/0.1 = 10; via 1: 0.1 + 0.1 = 0.2

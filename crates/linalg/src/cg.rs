@@ -117,14 +117,21 @@ pub struct CgConfig {
 
 impl Default for CgConfig {
     fn default() -> Self {
-        CgConfig { tolerance: 1e-8, max_iterations: 10_000, project_ones: true }
+        CgConfig {
+            tolerance: 1e-8,
+            max_iterations: 10_000,
+            project_ones: true,
+        }
     }
 }
 
 impl CgConfig {
     /// Config with a custom tolerance, keeping the other defaults.
     pub fn with_tolerance(tolerance: f64) -> Self {
-        CgConfig { tolerance, ..Default::default() }
+        CgConfig {
+            tolerance,
+            ..Default::default()
+        }
     }
 
     /// Sets the iteration cap.
@@ -275,7 +282,8 @@ mod tests {
         // A star with wildly varying weights is poorly conditioned for plain CG.
         let mut g = sgs_graph::Graph::new(50);
         for i in 1..50 {
-            g.add_edge(0, i, if i % 2 == 0 { 1e4 } else { 1e-2 }).unwrap();
+            g.add_edge(0, i, if i % 2 == 0 { 1e4 } else { 1e-2 })
+                .unwrap();
         }
         let l = CsrMatrix::laplacian(&g);
         let mut b = vec![0.0; 50];
@@ -297,7 +305,7 @@ mod tests {
     fn zero_rhs_returns_zero_immediately() {
         let g = generators::cycle(8, 1.0);
         let l = CsrMatrix::laplacian(&g);
-        let out = cg_solve(&l, &vec![0.0; 8], &CgConfig::default());
+        let out = cg_solve(&l, &[0.0; 8], &CgConfig::default());
         assert_eq!(out.iterations, 0);
         assert!(out.converged);
         assert!(out.solution.iter().all(|&v| v == 0.0));
@@ -308,7 +316,7 @@ mod tests {
         // b = ones is entirely in the null space; the projected system is 0 = 0.
         let g = generators::cycle(8, 1.0);
         let l = CsrMatrix::laplacian(&g);
-        let out = cg_solve(&l, &vec![3.0; 8], &CgConfig::default());
+        let out = cg_solve(&l, &[3.0; 8], &CgConfig::default());
         assert!(out.converged);
         assert!(vector::norm2(&out.solution) < 1e-10);
     }
@@ -320,7 +328,11 @@ mod tests {
         let mut b = vec![0.0; g.n()];
         b[0] = 1.0;
         b[g.n() - 1] = -1.0;
-        let cfg = CgConfig { tolerance: 1e-14, max_iterations: 3, project_ones: true };
+        let cfg = CgConfig {
+            tolerance: 1e-14,
+            max_iterations: 3,
+            project_ones: true,
+        };
         let out = cg_solve(&l, &b, &cfg);
         assert_eq!(out.iterations, 3);
         assert!(!out.converged);

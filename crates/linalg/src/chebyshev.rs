@@ -36,7 +36,10 @@ pub fn chebyshev_solve<A: LinearOperator + ?Sized>(
     lambda_hi: f64,
     iterations: usize,
 ) -> ChebyshevOutcome {
-    assert!(lambda_lo > 0.0 && lambda_hi >= lambda_lo, "need 0 < lambda_lo <= lambda_hi");
+    assert!(
+        lambda_lo > 0.0 && lambda_hi >= lambda_lo,
+        "need 0 < lambda_lo <= lambda_hi"
+    );
     let n = a.dim();
     assert_eq!(b.len(), n);
     // Standard three-term Chebyshev recurrence (see e.g. "Templates for the Solution of
@@ -69,7 +72,11 @@ pub fn chebyshev_solve<A: LinearOperator + ?Sized>(
     }
     let b_norm = vector::norm2(b).max(1e-300);
     let relative_residual = vector::norm2(&r) / b_norm;
-    ChebyshevOutcome { solution: x, iterations, relative_residual }
+    ChebyshevOutcome {
+        solution: x,
+        iterations,
+        relative_residual,
+    }
 }
 
 #[cfg(test)]
@@ -101,9 +108,20 @@ mod tests {
         // Spectrum of L(C_n) + I lies in [1, 5].
         let b: Vec<f64> = (0..50).map(|i| ((i as f64) * 0.41).sin()).collect();
         let out = chebyshev_solve(&a, &b, 1.0, 5.0, 60);
-        assert!(out.relative_residual < 1e-6, "residual {}", out.relative_residual);
+        assert!(
+            out.relative_residual < 1e-6,
+            "residual {}",
+            out.relative_residual
+        );
         // Agrees with CG.
-        let cg = cg_solve(&a, &b, &CgConfig { project_ones: false, ..CgConfig::default() });
+        let cg = cg_solve(
+            &a,
+            &b,
+            &CgConfig {
+                project_ones: false,
+                ..CgConfig::default()
+            },
+        );
         for (x, y) in out.solution.iter().zip(&cg.solution) {
             assert!((x - y).abs() < 1e-5);
         }
@@ -112,7 +130,9 @@ mod tests {
     #[test]
     fn residual_decreases_with_more_iterations() {
         let a = spd_operator(80);
-        let b: Vec<f64> = (0..80).map(|i| if i % 3 == 0 { 1.0 } else { -0.5 }).collect();
+        let b: Vec<f64> = (0..80)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -0.5 })
+            .collect();
         let r10 = chebyshev_solve(&a, &b, 1.0, 5.0, 10).relative_residual;
         let r40 = chebyshev_solve(&a, &b, 1.0, 5.0, 40).relative_residual;
         assert!(r40 < r10);
@@ -123,7 +143,11 @@ mod tests {
         let a = spd_operator(40);
         let b1: Vec<f64> = (0..40).map(|i| (i as f64).cos()).collect();
         let b2: Vec<f64> = (0..40).map(|i| ((i * i) as f64 % 7.0) - 3.0).collect();
-        let combo: Vec<f64> = b1.iter().zip(&b2).map(|(x, y)| 1.5 * x - 0.25 * y).collect();
+        let combo: Vec<f64> = b1
+            .iter()
+            .zip(&b2)
+            .map(|(x, y)| 1.5 * x - 0.25 * y)
+            .collect();
         let x1 = chebyshev_solve(&a, &b1, 1.0, 5.0, 15).solution;
         let x2 = chebyshev_solve(&a, &b2, 1.0, 5.0, 15).solution;
         let xc = chebyshev_solve(&a, &combo, 1.0, 5.0, 15).solution;
@@ -143,13 +167,17 @@ mod tests {
         let lo = smallest_nonzero_eigenvalue(&a, 100, 1e-8, 5).value.max(0.5) * 0.9;
         let b: Vec<f64> = (0..60).map(|i| ((i % 5) as f64) - 2.0).collect();
         let out = chebyshev_solve(&a, &b, lo, hi, 80);
-        assert!(out.relative_residual < 1e-4, "residual {}", out.relative_residual);
+        assert!(
+            out.relative_residual < 1e-4,
+            "residual {}",
+            out.relative_residual
+        );
     }
 
     #[test]
     #[should_panic(expected = "lambda_lo")]
     fn rejects_bad_bounds() {
         let a = spd_operator(10);
-        let _ = chebyshev_solve(&a, &vec![1.0; 10], 0.0, 1.0, 5);
+        let _ = chebyshev_solve(&a, &[1.0; 10], 0.0, 1.0, 5);
     }
 }

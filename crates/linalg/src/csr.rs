@@ -47,8 +47,7 @@ impl CsrMatrix {
         for r in 0..n {
             let start = row_ptr_raw[r];
             let end = row_ptr_raw[r + 1];
-            let mut row: Vec<(usize, f64)> =
-                (start..end).map(|i| (cols[i], vals[i])).collect();
+            let mut row: Vec<(usize, f64)> = (start..end).map(|i| (cols[i], vals[i])).collect();
             row.sort_by_key(|&(c, _)| c);
             for (c, v) in row {
                 if let Some(last) = col_idx.last() {
@@ -62,7 +61,12 @@ impl CsrMatrix {
             }
             row_ptr[r + 1] = col_idx.len();
         }
-        CsrMatrix { n, row_ptr, col_idx, values }
+        CsrMatrix {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Builds the Laplacian matrix of a graph.
@@ -132,12 +136,12 @@ impl CsrMatrix {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
         if self.n < 2048 {
-            for r in 0..self.n {
+            for (r, out) in y.iter_mut().enumerate() {
                 let mut acc = 0.0;
                 for i in self.row_ptr[r]..self.row_ptr[r + 1] {
                     acc += self.values[i] * x[self.col_idx[i]];
                 }
-                y[r] = acc;
+                *out = acc;
             }
         } else {
             y.par_iter_mut().enumerate().for_each(|(r, out)| {
@@ -187,9 +191,9 @@ impl CsrMatrix {
     /// Returns a dense copy (rows of length `n`); intended for tiny matrices in tests.
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut d = vec![vec![0.0; self.n]; self.n];
-        for r in 0..self.n {
+        for (r, row) in d.iter_mut().enumerate() {
             for i in self.row_ptr[r]..self.row_ptr[r + 1] {
-                d[r][self.col_idx[i]] += self.values[i];
+                row[self.col_idx[i]] += self.values[i];
             }
         }
         d
@@ -203,7 +207,16 @@ mod tests {
 
     #[test]
     fn triplet_construction_merges_duplicates() {
-        let a = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (0, 0, 2.0), (1, 0, -1.0), (0, 1, -1.0), (1, 1, 3.0)]);
+        let a = CsrMatrix::from_triplets(
+            2,
+            &[
+                (0, 0, 1.0),
+                (0, 0, 2.0),
+                (1, 0, -1.0),
+                (0, 1, -1.0),
+                (1, 1, 3.0),
+            ],
+        );
         assert_eq!(a.n(), 2);
         assert_eq!(a.nnz(), 4);
         assert_eq!(a.get(0, 0), 3.0);
@@ -269,9 +282,9 @@ mod tests {
         let y = l.apply(&x);
         // sequential reference
         let mut y_ref = vec![0.0; g.n()];
-        for r in 0..g.n() {
+        for (r, out) in y_ref.iter_mut().enumerate() {
             for i in l.row_ptr()[r]..l.row_ptr()[r + 1] {
-                y_ref[r] += l.values()[i] * x[l.col_idx()[i]];
+                *out += l.values()[i] * x[l.col_idx()[i]];
             }
         }
         for (a, b) in y.iter().zip(&y_ref) {

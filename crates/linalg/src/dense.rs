@@ -16,7 +16,10 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a zero matrix of dimension `n`.
     pub fn zeros(n: usize) -> Self {
-        DenseMatrix { n, data: vec![0.0; n * n] }
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
     }
 
     /// Creates an identity matrix of dimension `n`.
@@ -135,8 +138,8 @@ impl CholeskyFactor {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut v = b[i];
-            for k in 0..i {
-                v -= self.l[i * n + k] * y[k];
+            for (lik, yk) in self.l[i * n..i * n + i].iter().zip(&y[..i]) {
+                v -= lik * yk;
             }
             y[i] = v / self.l[i * n + i];
         }
@@ -144,8 +147,8 @@ impl CholeskyFactor {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut v = y[i];
-            for k in (i + 1)..n {
-                v -= self.l[k * n + i] * x[k];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                v -= self.l[k * n + i] * xk;
             }
             x[i] = v / self.l[i * n + i];
         }

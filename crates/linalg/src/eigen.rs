@@ -68,7 +68,11 @@ pub fn smallest_nonzero_eigenvalue<A: LinearOperator + ?Sized>(
 ) -> EigenEstimate {
     let n = a.dim();
     let mut x = vector::random_unit_orthogonal(n, seed);
-    let cg_cfg = CgConfig { tolerance: tolerance.min(1e-6) * 1e-2, max_iterations: 20 * n + 200, project_ones: true };
+    let cg_cfg = CgConfig {
+        tolerance: tolerance.min(1e-6) * 1e-2,
+        max_iterations: 20 * n + 200,
+        project_ones: true,
+    };
     let mut inv_value = 0.0f64;
     let mut iterations = 0;
     for _ in 0..max_iterations {
@@ -91,7 +95,11 @@ pub fn smallest_nonzero_eigenvalue<A: LinearOperator + ?Sized>(
         }
         inv_value = new_inv;
     }
-    let value = if inv_value > 0.0 { 1.0 / inv_value } else { f64::INFINITY };
+    let value = if inv_value > 0.0 {
+        1.0 / inv_value
+    } else {
+        f64::INFINITY
+    };
     EigenEstimate { value, iterations }
 }
 
@@ -119,7 +127,11 @@ mod tests {
         let g = generators::complete(n, 1.0);
         let l = CsrMatrix::laplacian(&g);
         let est = power_method(&l, 500, 1e-10, 3);
-        assert!((est.value - n as f64).abs() < 1e-6, "lambda_max = {}", est.value);
+        assert!(
+            (est.value - n as f64).abs() < 1e-6,
+            "lambda_max = {}",
+            est.value
+        );
     }
 
     #[test]
@@ -128,7 +140,11 @@ mod tests {
         let g = generators::complete(n, 1.0);
         let l = CsrMatrix::laplacian(&g);
         let est = smallest_nonzero_eigenvalue(&l, 100, 1e-8, 5);
-        assert!((est.value - n as f64).abs() < 1e-4, "lambda_min+ = {}", est.value);
+        assert!(
+            (est.value - n as f64).abs() < 1e-4,
+            "lambda_min+ = {}",
+            est.value
+        );
     }
 
     #[test]
@@ -141,8 +157,18 @@ mod tests {
         let lam_min = 2.0 - 2.0 * (std::f64::consts::PI / n as f64).cos();
         let hi = power_method(&l, 2000, 1e-12, 7);
         let lo = smallest_nonzero_eigenvalue(&l, 300, 1e-10, 11);
-        assert!((hi.value - lam_max).abs() / lam_max < 1e-3, "{} vs {}", hi.value, lam_max);
-        assert!((lo.value - lam_min).abs() / lam_min < 2e-2, "{} vs {}", lo.value, lam_min);
+        assert!(
+            (hi.value - lam_max).abs() / lam_max < 1e-3,
+            "{} vs {}",
+            hi.value,
+            lam_max
+        );
+        assert!(
+            (lo.value - lam_min).abs() / lam_min < 2e-2,
+            "{} vs {}",
+            lo.value,
+            lam_min
+        );
     }
 
     #[test]

@@ -78,10 +78,8 @@ mod tests {
     #[test]
     fn non_sdd_matrix_is_rejected() {
         // Diagonal smaller than off-diagonal sum.
-        let a = CsrMatrix::from_triplets(
-            2,
-            &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, -2.0), (1, 0, -2.0)],
-        );
+        let a =
+            CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, -2.0), (1, 0, -2.0)]);
         assert!(!is_sdd(&a, 1e-12));
         assert!(graph_from_sdd(&a, 1e-12).is_err());
     }
@@ -104,10 +102,8 @@ mod tests {
     #[test]
     fn diagonal_excess_is_detected() {
         // Laplacian of a single edge plus +3 on vertex 0's diagonal.
-        let a = CsrMatrix::from_triplets(
-            2,
-            &[(0, 0, 4.0), (1, 1, 1.0), (0, 1, -1.0), (1, 0, -1.0)],
-        );
+        let a =
+            CsrMatrix::from_triplets(2, &[(0, 0, 4.0), (1, 1, 1.0), (0, 1, -1.0), (1, 0, -1.0)]);
         let (h, excess) = graph_from_sdd(&a, 1e-12).unwrap();
         assert_eq!(h.m(), 1);
         assert!((excess[0] - 3.0).abs() < 1e-12);
@@ -116,10 +112,7 @@ mod tests {
 
     #[test]
     fn positive_offdiagonal_requires_gadget() {
-        let a = CsrMatrix::from_triplets(
-            2,
-            &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)],
-        );
+        let a = CsrMatrix::from_triplets(2, &[(0, 0, 2.0), (1, 1, 2.0), (0, 1, 1.0), (1, 0, 1.0)]);
         assert!(is_sdd(&a, 1e-12));
         assert!(graph_from_sdd(&a, 1e-12).is_err());
     }

@@ -88,7 +88,11 @@ fn exact_dense(g: &Graph) -> Vec<f64> {
 
 fn exact_cg(g: &Graph) -> Vec<f64> {
     let op = GraphLaplacianOp::new(g);
-    let cfg = CgConfig { tolerance: 1e-9, max_iterations: 50 * g.n(), project_ones: true };
+    let cfg = CgConfig {
+        tolerance: 1e-9,
+        max_iterations: 50 * g.n(),
+        project_ones: true,
+    };
     g.edges()
         .par_iter()
         .map(|e| {
@@ -116,7 +120,11 @@ pub fn approx_effective_resistances(g: &Graph, jl_factor: f64, seed: u64) -> Vec
     let m = g.m();
     let k = ((jl_factor * (n.max(2) as f64).log2()).ceil() as usize).max(1);
     let op = GraphLaplacianOp::new(g);
-    let cfg = CgConfig { tolerance: 1e-8, max_iterations: 50 * n, project_ones: true };
+    let cfg = CgConfig {
+        tolerance: 1e-8,
+        max_iterations: 50 * n,
+        project_ones: true,
+    };
 
     // For each projection row i: y_i = Bᵀ W^{1/2} q_i  (an n-vector), z_i = L⁺ y_i.
     let zs: Vec<Vec<f64>> = (0..k)
@@ -209,7 +217,10 @@ mod tests {
         assert!(sgs_graph::connectivity::is_connected(&g));
         let r = exact_effective_resistances(&g);
         let total = total_leverage(&g, &r);
-        assert!((total - (g.n() as f64 - 1.0)).abs() < 1e-5, "total = {total}");
+        assert!(
+            (total - (g.n() as f64 - 1.0)).abs() < 1e-5,
+            "total = {total}"
+        );
     }
 
     #[test]

@@ -58,7 +58,11 @@ pub struct CertifyOptions {
 
 impl Default for CertifyOptions {
     fn default() -> Self {
-        CertifyOptions { iterations: 40, cg_tolerance: 1e-8, seed: 0x5eed }
+        CertifyOptions {
+            iterations: 40,
+            cg_tolerance: 1e-8,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -114,11 +118,19 @@ fn max_generalized_eigenvalue(h: &Graph, g: &Graph, opts: &CertifyOptions) -> f6
 pub fn approximation_bounds(g: &Graph, h: &Graph, opts: &CertifyOptions) -> SpectralBounds {
     assert_eq!(g.n(), h.n(), "graphs must share a vertex set");
     let upper = max_generalized_eigenvalue(h, g, opts);
-    let inv_lower = max_generalized_eigenvalue(g, h, &CertifyOptions {
-        seed: opts.seed.wrapping_add(1),
-        ..opts.clone()
-    });
-    let lower = if inv_lower > 0.0 { 1.0 / inv_lower } else { 0.0 };
+    let inv_lower = max_generalized_eigenvalue(
+        g,
+        h,
+        &CertifyOptions {
+            seed: opts.seed.wrapping_add(1),
+            ..opts.clone()
+        },
+    );
+    let lower = if inv_lower > 0.0 {
+        1.0 / inv_lower
+    } else {
+        0.0
+    };
     SpectralBounds { lower, upper }
 }
 
@@ -181,7 +193,10 @@ mod tests {
         let b = approximation_bounds(&g, &h, &CertifyOptions::default());
         assert!(b.upper <= 1.0 + 1e-9);
         assert!(b.lower < 1.0);
-        assert!(b.lower > 0.5, "complete graph tolerates one edge removal well");
+        assert!(
+            b.lower > 0.5,
+            "complete graph tolerates one edge removal well"
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
             *yi += alpha * xi;
         }
     } else {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi += alpha * xi);
+        y.par_iter_mut()
+            .zip(x.par_iter())
+            .for_each(|(yi, xi)| *yi += alpha * xi);
     }
 }
 
@@ -98,7 +100,9 @@ pub fn random_unit_orthogonal(n: usize, seed: u64) -> Vec<f64> {
 /// Spielman–Srivastava random-projection resistance estimator.
 pub fn rademacher(n: usize, seed: u64) -> Vec<f64> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect()
+    (0..n)
+        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect()
 }
 
 #[cfg(test)]

@@ -84,7 +84,11 @@ impl ChainLevel {
             .zip(&excess)
             .map(|(d, e)| d + e)
             .collect();
-        ChainLevel { graph, excess, diagonal }
+        ChainLevel {
+            graph,
+            excess,
+            diagonal,
+        }
     }
 
     /// Adjacency application `y = A x` (off-diagonal only, positive weights).
@@ -133,8 +137,7 @@ impl Chain {
         let mut levels = Vec::new();
         let mut current = ChainLevel::new(system.graph().clone(), system.excess().to_vec());
         let n = system.n();
-        let target_edges =
-            (2.0 * n as f64 * (n.max(2) as f64).log2()).ceil() as usize;
+        let target_edges = (2.0 * n as f64 * (n.max(2) as f64).log2()).ceil() as usize;
         for level_idx in 0..config.max_levels {
             let done = current.dominance() >= config.dominance_stop
                 || current.graph.m() == 0
@@ -147,7 +150,10 @@ impl Chain {
             levels.push(current);
             current = next;
         }
-        Chain { levels, config: config.clone() }
+        Chain {
+            levels,
+            config: config.clone(),
+        }
     }
 
     /// Number of levels in the chain.
@@ -177,7 +183,11 @@ impl Chain {
             return jacobi_sweeps(lvl, b, self.config.base_jacobi_sweeps);
         }
         // x = 1/2 [ D^{-1} b + (I + D^{-1} A) M̃^{-1} (I + A D^{-1}) b ]
-        let d_inv_b: Vec<f64> = b.iter().zip(&lvl.diagonal).map(|(bi, di)| bi / di).collect();
+        let d_inv_b: Vec<f64> = b
+            .iter()
+            .zip(&lvl.diagonal)
+            .map(|(bi, di)| bi / di)
+            .collect();
         let a_dinv_b = lvl.adjacency_apply(&d_inv_b);
         let y: Vec<f64> = b.iter().zip(&a_dinv_b).map(|(bi, ai)| bi + ai).collect();
         let z = self.apply_inverse_from(level + 1, &y);
@@ -206,7 +216,11 @@ impl Preconditioner for Chain {
 /// it safe to use inside a (non-flexible) PCG iteration.
 fn jacobi_sweeps(level: &ChainLevel, b: &[f64], sweeps: usize) -> Vec<f64> {
     let n = b.len();
-    let mut x: Vec<f64> = b.iter().zip(&level.diagonal).map(|(bi, di)| bi / di).collect();
+    let mut x: Vec<f64> = b
+        .iter()
+        .zip(&level.diagonal)
+        .map(|(bi, di)| bi / di)
+        .collect();
     for _ in 0..sweeps {
         // x ← D⁻¹ (b + A x)
         let ax = level.adjacency_apply(&x);
@@ -262,8 +276,7 @@ fn build_next_level(
             if clique_weight <= 0.0 {
                 continue;
             }
-            let samples =
-                ((deg as f64) * (deg as f64).log2().max(1.0) * 2.0).ceil() as usize;
+            let samples = ((deg as f64) * (deg as f64).log2().max(1.0) * 2.0).ceil() as usize;
             // Cumulative distribution over neighbors, proportional to weight.
             let mut cumulative = Vec::with_capacity(deg);
             let mut acc = 0.0;
@@ -350,7 +363,10 @@ mod tests {
         if chain.depth() >= 2 {
             let d0 = chain.levels()[0].dominance();
             let dl = chain.levels()[chain.depth() - 1].dominance();
-            assert!(dl >= d0, "dominance should not decrease along the chain: {d0} -> {dl}");
+            assert!(
+                dl >= d0,
+                "dominance should not decrease along the chain: {d0} -> {dl}"
+            );
         }
     }
 
@@ -368,7 +384,10 @@ mod tests {
             let x = chain.apply_inverse(&b);
             assert!(x.iter().all(|v| v.is_finite()));
             let btx = vector::dot(&b, &x);
-            assert!(btx > 0.0, "preconditioner must be positive definite, got {btx}");
+            assert!(
+                btx > 0.0,
+                "preconditioner must be positive definite, got {btx}"
+            );
         }
         // Linearity: P(2a - b) = 2 P(a) - P(b).
         let a = vector::random_unit_orthogonal(n, 101);
@@ -399,7 +418,10 @@ mod tests {
         let x_combined = jacobi_sweeps(&level, &combined, 8);
         for i in 0..30 {
             let lin = 2.0 * x1[i] - 0.5 * x2[i];
-            assert!((x_combined[i] - lin).abs() < 1e-10, "Jacobi base case must be linear");
+            assert!(
+                (x_combined[i] - lin).abs() < 1e-10,
+                "Jacobi base case must be linear"
+            );
         }
     }
 

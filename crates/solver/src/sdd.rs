@@ -33,8 +33,15 @@ impl GroundedLaplacian {
     /// Wraps `L(G) + diag(excess)`, grounding one vertex in every component whose excess
     /// is identically zero.
     pub fn from_graph_with_excess(graph: Graph, mut excess: Vec<f64>) -> Self {
-        assert_eq!(excess.len(), graph.n(), "excess length must equal vertex count");
-        assert!(excess.iter().all(|&e| e >= -1e-12), "excess must be non-negative");
+        assert_eq!(
+            excess.len(),
+            graph.n(),
+            "excess length must equal vertex count"
+        );
+        assert!(
+            excess.iter().all(|&e| e >= -1e-12),
+            "excess must be non-negative"
+        );
         for e in excess.iter_mut() {
             if *e < 0.0 {
                 *e = 0.0;
@@ -62,7 +69,11 @@ impl GroundedLaplacian {
                 grounded_vertices.push(v);
             }
         }
-        GroundedLaplacian { graph, excess, grounded_vertices }
+        GroundedLaplacian {
+            graph,
+            excess,
+            grounded_vertices,
+        }
     }
 
     /// Builds a grounded Laplacian from an explicit SDD matrix (non-positive
@@ -182,7 +193,10 @@ mod tests {
         // Quadratic form is positive on non-zero vectors (PD after grounding/excess).
         assert!(gl.quadratic_form(&x) > 0.0);
         let ones = vec![1.0; 16];
-        assert!(gl.quadratic_form(&ones) > 0.0, "grounded system is PD even on constants");
+        assert!(
+            gl.quadratic_form(&ones) > 0.0,
+            "grounded system is PD even on constants"
+        );
     }
 
     #[test]
@@ -214,7 +228,8 @@ mod tests {
 
     #[test]
     fn non_sdd_matrix_is_rejected() {
-        let m = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, -5.0), (1, 0, -5.0)]);
+        let m =
+            CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0), (0, 1, -5.0), (1, 0, -5.0)]);
         assert!(GroundedLaplacian::from_sdd_matrix(&m).is_none());
     }
 

@@ -38,7 +38,11 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { tolerance: 1e-8, max_iterations: 2000, chain: ChainConfig::default() }
+        SolverConfig {
+            tolerance: 1e-8,
+            max_iterations: 2000,
+            chain: ChainConfig::default(),
+        }
     }
 }
 
@@ -78,7 +82,11 @@ impl SddSolver {
     /// Builds a solver for an explicit grounded-Laplacian system.
     pub fn for_system(system: GroundedLaplacian, config: SolverConfig) -> Self {
         let chain = Some(Chain::build(&system, &config.chain));
-        SddSolver { system, chain, config }
+        SddSolver {
+            system,
+            chain,
+            config,
+        }
     }
 
     /// Builds a solver from an SDD matrix with non-positive off-diagonals. Returns
@@ -104,7 +112,11 @@ impl SddSolver {
     /// (sum to zero per component); the solution returned is the representative that is
     /// zero at the grounded vertices.
     pub fn solve_with(&self, b: &[f64], method: SolverMethod) -> SolveOutcome {
-        assert_eq!(b.len(), self.system.n(), "right-hand side has wrong dimension");
+        assert_eq!(
+            b.len(),
+            self.system.n(),
+            "right-hand side has wrong dimension"
+        );
         let cg_cfg = CgConfig {
             tolerance: self.config.tolerance,
             max_iterations: self.config.max_iterations,
@@ -206,7 +218,11 @@ mod tests {
         b[n - 1] = -1.0;
         let chain = solver.solve_with(&b, SolverMethod::ChainPcg);
         let plain = solver.solve_with(&b, SolverMethod::Cg);
-        assert!(chain.converged, "chain residual {}", chain.relative_residual);
+        assert!(
+            chain.converged,
+            "chain residual {}",
+            chain.relative_residual
+        );
         assert!(
             chain.iterations < plain.iterations,
             "chain {} vs cg {}",
@@ -218,7 +234,9 @@ mod tests {
     #[test]
     fn solves_systems_with_explicit_excess() {
         let g = generators::grid2d(10, 10, 1.0);
-        let excess: Vec<f64> = (0..100).map(|i| if i % 7 == 0 { 0.5 } else { 0.0 }).collect();
+        let excess: Vec<f64> = (0..100)
+            .map(|i| if i % 7 == 0 { 0.5 } else { 0.0 })
+            .collect();
         let system = GroundedLaplacian::from_graph_with_excess(g, excess);
         let solver = SddSolver::for_system(system, SolverConfig::default());
         let b: Vec<f64> = (0..100).map(|i| ((i * 13 % 29) as f64) - 14.0).collect();
@@ -240,7 +258,12 @@ mod tests {
         assert!(mean.abs() < 1e-8);
         // The solution satisfies L x = b up to the tolerance.
         let lx = g.laplacian_apply(&out.solution);
-        let err: f64 = lx.iter().zip(&b).map(|(a, c)| (a - c) * (a - c)).sum::<f64>().sqrt();
+        let err: f64 = lx
+            .iter()
+            .zip(&b)
+            .map(|(a, c)| (a - c) * (a - c))
+            .sum::<f64>()
+            .sqrt();
         assert!(err < 1e-5, "err = {err}");
     }
 

@@ -34,14 +34,21 @@ pub struct SpannerConfig {
 
 impl Default for SpannerConfig {
     fn default() -> Self {
-        SpannerConfig { k: None, seed: 0xBA5EBA11, parallel: true }
+        SpannerConfig {
+            k: None,
+            seed: 0xBA5EBA11,
+            parallel: true,
+        }
     }
 }
 
 impl SpannerConfig {
     /// Config with an explicit seed.
     pub fn with_seed(seed: u64) -> Self {
-        SpannerConfig { seed, ..Default::default() }
+        SpannerConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Overrides the stretch parameter `k`.
@@ -107,13 +114,20 @@ struct Decision {
 /// Returns original edge ids (the first component of each view entry).
 pub fn baswana_sen_on_view(n: usize, view: &[EdgeView], cfg: &SpannerConfig) -> SpannerResult {
     let m = view.len();
-    let k = cfg.k.unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize).max(1);
+    let k = cfg
+        .k
+        .unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize)
+        .max(1);
     if n <= 2 || k <= 1 || m == 0 {
         // Stretch-1 spanner (or trivial graph): keep everything.
         let mut ids: Vec<EdgeId> = view.iter().map(|&(id, _, _, _)| id).collect();
         ids.sort_unstable();
         ids.dedup();
-        return SpannerResult { edge_ids: ids, rounds: 0, work: m as u64 };
+        return SpannerResult {
+            edge_ids: ids,
+            rounds: 0,
+            work: m as u64,
+        };
     }
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
@@ -143,7 +157,10 @@ pub fn baswana_sen_on_view(n: usize, view: &[EdgeView], cfg: &SpannerConfig) -> 
                 // Vertices in sampled clusters carry over unchanged.
                 return None;
             }
-            let mut dec = Decision { new_center: None, ..Default::default() };
+            let mut dec = Decision {
+                new_center: None,
+                ..Default::default()
+            };
             // Group alive incident edges by the cluster of the other endpoint. A BTreeMap
             // keeps the iteration order deterministic, so runs are reproducible across
             // seeds and across the parallel/sequential code paths.
@@ -162,7 +179,10 @@ pub fn baswana_sen_on_view(n: usize, view: &[EdgeView], cfg: &SpannerConfig) -> 
                 if c_other == c_v {
                     continue; // intra-cluster edges are removed lazily below
                 }
-                let entry = groups.entry(c_other).or_insert((f64::INFINITY, usize::MAX, Vec::new()));
+                let entry =
+                    groups
+                        .entry(c_other)
+                        .or_insert((f64::INFINITY, usize::MAX, Vec::new()));
                 if w < entry.0 {
                     entry.0 = w;
                     entry.1 = idx;
@@ -175,15 +195,12 @@ pub fn baswana_sen_on_view(n: usize, view: &[EdgeView], cfg: &SpannerConfig) -> 
             }
             // Lightest edge into a *sampled* adjacent cluster, if any. Ties are broken
             // by cluster id so the choice is deterministic.
-            let best_sampled = groups
-                .iter()
-                .filter(|(c, _)| sampled[**c])
-                .min_by(|a, b| {
-                    a.1 .0
-                        .partial_cmp(&b.1 .0)
-                        .unwrap()
-                        .then_with(|| a.0.cmp(b.0))
-                });
+            let best_sampled = groups.iter().filter(|(c, _)| sampled[**c]).min_by(|a, b| {
+                a.1 .0
+                    .partial_cmp(&b.1 .0)
+                    .unwrap()
+                    .then_with(|| a.0.cmp(b.0))
+            });
             match best_sampled {
                 None => {
                     // No sampled neighbor cluster: keep one lightest edge per adjacent
@@ -311,7 +328,11 @@ pub fn baswana_sen_on_view(n: usize, view: &[EdgeView], cfg: &SpannerConfig) -> 
         .collect();
     edge_ids.sort_unstable();
     edge_ids.dedup();
-    SpannerResult { edge_ids, rounds, work: total_work }
+    SpannerResult {
+        edge_ids,
+        rounds,
+        work: total_work,
+    }
 }
 
 #[cfg(test)]
@@ -326,7 +347,10 @@ mod tests {
         if is_connected(g) {
             assert!(is_connected(&h), "spanner must be connected when G is");
         }
-        let k = cfg.k.unwrap_or_else(|| (g.n() as f64).log2().ceil() as usize).max(1);
+        let k = cfg
+            .k
+            .unwrap_or_else(|| (g.n() as f64).log2().ceil() as usize)
+            .max(1);
         let bound = (2 * k - 1) as f64 + 1e-9;
         let max_stretch = stretch::max_stretch(g, &h);
         assert!(

@@ -29,7 +29,10 @@ pub struct BundleConfig {
 impl BundleConfig {
     /// Bundle of `t` components with default spanner settings.
     pub fn new(t: usize) -> Self {
-        BundleConfig { t, spanner: SpannerConfig::default() }
+        BundleConfig {
+            t,
+            spanner: SpannerConfig::default(),
+        }
     }
 
     /// Sets the base RNG seed.
@@ -117,8 +120,9 @@ pub fn t_bundle(g: &Graph, cfg: &BundleConfig) -> BundleResult {
             .spanner
             .seed
             .wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
-        let SpannerResult { edge_ids, work: w, .. } =
-            baswana_sen_on_view(g.n(), &remaining, &spanner_cfg);
+        let SpannerResult {
+            edge_ids, work: w, ..
+        } = baswana_sen_on_view(g.n(), &remaining, &spanner_cfg);
         work += w;
         for &id in &edge_ids {
             in_bundle[id] = true;
@@ -132,7 +136,12 @@ pub fn t_bundle(g: &Graph, cfg: &BundleConfig) -> BundleResult {
     }
 
     let bundle_size = in_bundle.iter().filter(|&&b| b).count();
-    BundleResult { components, in_bundle, bundle_size, work }
+    BundleResult {
+        components,
+        in_bundle,
+        bundle_size,
+        work,
+    }
 }
 
 #[cfg(test)]
@@ -164,8 +173,7 @@ mod tests {
         // Residual graph before component i: edges not in components 0..i.
         let mut assigned = vec![false; g.m()];
         for comp in &b.components {
-            let residual_ids: Vec<usize> =
-                (0..g.m()).filter(|&id| !assigned[id]).collect();
+            let residual_ids: Vec<usize> = (0..g.m()).filter(|&id| !assigned[id]).collect();
             let residual = g.with_edge_ids(&residual_ids);
             // Map component edge ids into the residual graph's index space.
             let comp_graph = g.with_edge_ids(comp);

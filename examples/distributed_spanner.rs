@@ -6,9 +6,7 @@
 //! cargo run --release --example distributed_spanner
 //! ```
 
-use spectral_sparsify::distributed::{
-    distributed_sample, distributed_spanner, DistSpannerConfig,
-};
+use spectral_sparsify::distributed::{distributed_sample, distributed_spanner, DistSpannerConfig};
 use spectral_sparsify::graph::{generators, stretch};
 use spectral_sparsify::sparsify::{BundleSizing, SparsifyConfig};
 

@@ -15,7 +15,12 @@ fn main() {
     // A dense Erdős–Rényi graph: n = 2000 vertices, ~200k edges.
     let n = 2000;
     let g = generators::erdos_renyi(n, 0.1, 1.0, 42);
-    println!("input graph: n = {}, m = {}, connected = {}", g.n(), g.m(), is_connected(&g));
+    println!(
+        "input graph: n = {}, m = {}, connected = {}",
+        g.n(),
+        g.m(),
+        is_connected(&g)
+    );
 
     // PARALLELSPARSIFY with accuracy 0.5 and sparsification factor 8.
     let cfg = SparsifyConfig::new(0.5, 8.0)

@@ -20,7 +20,11 @@ fn main() {
     let pa = generators::preferential_attachment(n, 8, 1.0, 11);
     let extra = generators::erdos_renyi(n, 0.02, 1.0, 12);
     let g = ops::add(&pa, &extra).unwrap().coalesce();
-    println!("social network: n = {n}, m = {}, avg degree {:.1}", g.m(), g.average_degree());
+    println!(
+        "social network: n = {n}, m = {}, avg degree {:.1}",
+        g.m(),
+        g.average_degree()
+    );
 
     let opts = CertifyOptions::default();
     let eps = 0.5;
@@ -47,7 +51,10 @@ fn main() {
     let uni_time = t0.elapsed();
     let uni_report = verify_sparsifier(&g, &uni.sparsifier, &opts);
 
-    println!("\n{:<28} {:>9} {:>9} {:>9} {:>10} {:>9}", "method", "edges", "lower", "upper", "time(ms)", "solves");
+    println!(
+        "\n{:<28} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "method", "edges", "lower", "upper", "time(ms)", "solves"
+    );
     for (name, report, time, solves, connected) in [
         (
             "PARALLELSPARSIFY (paper)",
@@ -56,8 +63,20 @@ fn main() {
             0usize,
             is_connected(&ours.sparsifier),
         ),
-        ("effective-resistance", &er_report, er_time, er.solves, is_connected(&er.sparsifier)),
-        ("uniform sampling", &uni_report, uni_time, 0, is_connected(&uni.sparsifier)),
+        (
+            "effective-resistance",
+            &er_report,
+            er_time,
+            er.solves,
+            is_connected(&er.sparsifier),
+        ),
+        (
+            "uniform sampling",
+            &uni_report,
+            uni_time,
+            0,
+            is_connected(&uni.sparsifier),
+        ),
     ] {
         println!(
             "{:<28} {:>9} {:>9.3} {:>9.3} {:>10.1} {:>9}   connected: {}",

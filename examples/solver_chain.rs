@@ -28,7 +28,11 @@ fn main() {
             .fold(f64::INFINITY, f64::min);
         println!("{:>6} {:>10} {:>14.3}", i, level.graph.m(), dominance);
     }
-    println!("total chain size: {} edges across {} levels", chain.total_edges(), chain.depth());
+    println!(
+        "total chain size: {} edges across {} levels",
+        chain.total_edges(),
+        chain.depth()
+    );
 
     println!("\n== Iterations vs. condition number (paths of growing length) ==");
     println!(

@@ -39,7 +39,10 @@ fn solve_on_sparsifier_approximates_solve_on_original() {
     let er_full = x_full[0] - x_full[399];
     let er_sparse = x_sparse[0] - x_sparse[399];
     let er_ratio = er_sparse / er_full;
-    assert!(er_ratio > 0.4 && er_ratio < 2.5, "effective resistance ratio {er_ratio}");
+    assert!(
+        er_ratio > 0.4 && er_ratio < 2.5,
+        "effective resistance ratio {er_ratio}"
+    );
 }
 
 /// A sparsifier of `G` can precondition solves on `G`: CG on `G` preconditioned by an
@@ -115,7 +118,10 @@ fn full_pipeline_sparsify_then_chain_solve() {
     let mut r: Vec<f64> = b.iter().zip(&lx).map(|(bi, li)| bi - li).collect();
     vector::project_out_ones(&mut r);
     let rel = vector::norm2(&r) / vector::norm2(&b);
-    assert!(rel < 0.9, "sparsifier solution is a useful starting point, residual {rel}");
+    assert!(
+        rel < 0.9,
+        "sparsifier solution is a useful starting point, residual {rel}"
+    );
 }
 
 /// Distributed and shared-memory sparsifiers have statistically similar sizes and both

@@ -129,7 +129,10 @@ fn solver_reuse_and_superposition() {
     assert!(x1.converged && x2.converged && xc.converged);
     for i in 0..n {
         let lin = 2.0 * x1.solution[i] + 3.0 * x2.solution[i];
-        assert!((xc.solution[i] - lin).abs() < 1e-4 * (1.0 + lin.abs()), "index {i}");
+        assert!(
+            (xc.solution[i] - lin).abs() < 1e-4 * (1.0 + lin.abs()),
+            "index {i}"
+        );
     }
 }
 
@@ -162,7 +165,12 @@ fn sparsification_is_scale_equivariant() {
     let out = parallel_sparsify(&g, &cfg);
     let out_scaled = parallel_sparsify(&scaled, &cfg);
     assert_eq!(out.sparsifier.m(), out_scaled.sparsifier.m());
-    for (e, es) in out.sparsifier.edges().iter().zip(out_scaled.sparsifier.edges()) {
+    for (e, es) in out
+        .sparsifier
+        .edges()
+        .iter()
+        .zip(out_scaled.sparsifier.edges())
+    {
         assert_eq!((e.u, e.v), (es.u, es.v));
         assert!((es.w - 3.0 * e.w).abs() < 1e-9 * es.w.max(1.0));
     }

@@ -1,0 +1,49 @@
+//! End-to-end smoke test of the README / doctest quickstart path: generate a dense
+//! random graph, run `parallel_sparsify` through the facade crate exactly as a new
+//! user would, and assert the output is a genuinely smaller graph that passes the
+//! spectral verification helpers.
+
+use spectral_sparsify::graph::{connectivity::is_connected, generators};
+use spectral_sparsify::linalg::spectral::CertifyOptions;
+use spectral_sparsify::sparsify::{
+    parallel_sparsify, verify_sparsifier, BundleSizing, SparsifyConfig,
+};
+
+#[test]
+fn quickstart_sparsify_and_verify() {
+    // Same shape as the quickstart in src/lib.rs and README.md.
+    let g = generators::erdos_renyi(400, 0.25, 1.0, 7);
+    assert!(is_connected(&g), "quickstart graph must be connected");
+
+    let cfg = SparsifyConfig::new(0.5, 4.0)
+        .with_bundle_sizing(BundleSizing::Fixed(4))
+        .with_seed(1);
+    let out = parallel_sparsify(&g, &cfg);
+
+    // The sparsifier is a strictly smaller graph on the same vertex set...
+    assert_eq!(out.sparsifier.n(), g.n());
+    assert!(
+        out.sparsifier.m() < g.m(),
+        "sparsifier has {} edges, input {}",
+        out.sparsifier.m(),
+        g.m()
+    );
+    assert!(is_connected(&out.sparsifier));
+
+    // ...and the verification helper certifies two-sided spectral bounds for it.
+    let report = verify_sparsifier(&g, &out.sparsifier, &CertifyOptions::default());
+    assert!(report.bounds.lower > 0.0, "lower bound {:?}", report.bounds);
+    assert!(
+        report.bounds.upper.is_finite(),
+        "upper bound {:?}",
+        report.bounds
+    );
+    assert!(
+        report.bounds.lower > 0.2 && report.bounds.upper < 5.0,
+        "quickstart bounds drifted far from (1 ± eps): {:?}",
+        report.bounds
+    );
+    assert!(report.compression > 1.0);
+    // The Display impl is part of the quickstart output; it must render.
+    assert!(!report.to_string().is_empty());
+}

@@ -14,8 +14,14 @@ use spectral_sparsify::sparsify::{parallel_sample, BundleSizing, SparsifyConfig}
 fn theorem_1_spanner_size_and_stretch() {
     let families: Vec<(&str, _)> = vec![
         ("erdos_renyi", generators::erdos_renyi(400, 0.1, 1.0, 3)),
-        ("random_regular", generators::random_regular(400, 12, 1.0, 5)),
-        ("preferential", generators::preferential_attachment(400, 6, 1.0, 7)),
+        (
+            "random_regular",
+            generators::random_regular(400, 12, 1.0, 5),
+        ),
+        (
+            "preferential",
+            generators::preferential_attachment(400, 6, 1.0, 7),
+        ),
     ];
     for (name, g) in families {
         if !is_connected(&g) {
@@ -103,7 +109,10 @@ fn theorem_4_output_size_and_weight() {
         "size {got} vs expected {expected}"
     );
     let weight_ratio = out.sparsifier.total_weight() / g.total_weight();
-    assert!((weight_ratio - 1.0).abs() < 0.1, "weight ratio {weight_ratio}");
+    assert!(
+        (weight_ratio - 1.0).abs() < 0.1,
+        "weight ratio {weight_ratio}"
+    );
 }
 
 /// Theorem 5 (shape): increasing rho increases the achieved compression while the
@@ -117,7 +126,7 @@ fn theorem_5_rho_sweep_shape() {
             .with_bundle_sizing(BundleSizing::Fixed(3))
             .with_seed(31);
         let out = spectral_sparsify::sparsify::parallel_sparsify(&g, &cfg);
-        assert!(out.rounds_executed <= (rho as f64).log2().ceil() as usize);
+        assert!(out.rounds_executed <= rho.log2().ceil() as usize);
         assert!(
             out.sparsifier.m() <= last_m,
             "rho {rho}: {} edges, expected monotone decrease",

@@ -1,0 +1,224 @@
+//! Offline shim for [criterion](https://crates.io/crates/criterion).
+//!
+//! Bench files compile unchanged against this crate's [`Criterion`],
+//! [`BenchmarkId`], `criterion_group!` and `criterion_main!`. Instead of criterion's
+//! statistical machinery, each benchmark runs a short warm-up plus `sample_size`
+//! timed iterations and prints min/mean/max wall-clock times — enough to eyeball
+//! regressions in an environment without crates.io access.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one parameterised benchmark, e.g. `BenchmarkId::new("rho", 8)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter's `Display` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] times the hot loop.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `sample_size` invocations of `routine` (after one warm-up call).
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        black_box(routine());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no externally supplied input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.criterion.report(&self.name, &id.id, &bencher.samples);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        self.criterion.report(&self.name, &id.id, &bencher.samples);
+        self
+    }
+
+    /// Ends the group (a no-op beyond matching criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness handle passed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iterations: 10,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        self.report("", &id.id, &bencher.samples);
+        self
+    }
+
+    fn report(&mut self, group: &str, id: &str, samples: &[Duration]) {
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        let ms = |d: &Duration| d.as_secs_f64() * 1e3;
+        let min = samples.iter().map(ms).fold(f64::INFINITY, f64::min);
+        let max = samples.iter().map(ms).fold(0.0f64, f64::max);
+        let mean = samples.iter().map(ms).sum::<f64>() / samples.len() as f64;
+        println!(
+            "{label:<50} time: [{min:.3} ms {mean:.3} ms {max:.3} ms]  ({} samples)",
+            samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function, matching criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = { let _ = $config; $crate::Criterion::default() };
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, matching criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim/demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &k| {
+            b.iter(|| (0..100u64).map(|x| x * k).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, demo_bench);
+
+    #[test]
+    fn group_and_macros_run() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("rho", 8).id, "rho/8");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline shim for [proptest](https://crates.io/crates/proptest).
+//!
+//! Provides the subset the workspace's property tests use: the [`Strategy`] trait with
+//! `prop_map`, strategies for numeric ranges and tuples, [`ProptestConfig`], the
+//! [`proptest!`] macro, and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from real proptest, by design: inputs are drawn from a deterministic
+//! per-test RNG (seeded from the test name and case index, so failures reproduce), and
+//! there is **no shrinking** — a failing case panics with the values that produced it
+//! left to the assertion message.
+
+#![warn(missing_docs)]
+
+use rand::{Rng, SampleRange, SampleUniform, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG handed to strategies by the [`proptest!`] macro.
+pub type TestRng = ChaCha8Rng;
+
+/// Builds the deterministic RNG for one test case. Public for the macro's use.
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x5eed))
+}
+
+/// A generator of test inputs (the shim's `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the produced value through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + Clone,
+    std::ops::Range<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: SampleUniform + Clone,
+    std::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy that always yields a clone of one value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Per-block configuration consumed by the [`proptest!`] macro.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim (which does not shrink and reruns
+        // whole pipelines per case) keeps CI latency sane with fewer.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Asserts a condition inside a property, like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property, like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body runs for every
+/// case with fresh inputs drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut proptest_shim_rng = $crate::test_rng(stringify!($name), case);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut proptest_shim_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Everything `use proptest::prelude::*` must bring into scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::test_rng("ranges", 0);
+        let strat = (3usize..10, 0.0f64..1.0).prop_map(|(a, b)| a as f64 + b);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((3.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name_and_case() {
+        use rand::RngCore;
+        assert_eq!(
+            crate::test_rng("t", 3).next_u64(),
+            crate::test_rng("t", 3).next_u64()
+        );
+        assert_ne!(
+            crate::test_rng("t", 3).next_u64(),
+            crate::test_rng("t", 4).next_u64()
+        );
+        assert_ne!(
+            crate::test_rng("a", 3).next_u64(),
+            crate::test_rng("b", 3).next_u64()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro wires strategies, config, and assertions together.
+        #[test]
+        fn macro_end_to_end(x in 1usize..50, scale in 2.0f64..4.0) {
+            prop_assert!(x >= 1);
+            prop_assert!(x < 50);
+            let y = x as f64 * scale;
+            prop_assert!(y > x as f64, "scaled {} not larger than {}", y, x);
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    proptest! {
+        /// Default config path also compiles and runs.
+        #[test]
+        fn macro_default_config(b in 0u64..10) {
+            prop_assert!(b < 10);
+        }
+    }
+}

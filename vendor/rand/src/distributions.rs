@@ -1,0 +1,127 @@
+//! The `rand::distributions` subset used by the workspace: [`Distribution`],
+//! [`Standard`], and [`WeightedIndex`].
+
+use std::borrow::Borrow;
+
+use crate::Rng;
+
+/// A distribution over values of type `T` (mirrors `rand::distributions::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one value using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "standard" distribution: uniform `[0,1)` for floats, fair coin for bools,
+/// uniform over all values for integers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Error returned by [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight list was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => f.write_str("no items to sample from"),
+            WeightedError::InvalidWeight => f.write_str("invalid (negative or non-finite) weight"),
+            WeightedError::AllWeightsZero => f.write_str("all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` proportionally to a list of non-negative `f64` weights
+/// (mirrors `rand::distributions::WeightedIndex<f64>`).
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from an iterator of weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) * self.total;
+        // First cumulative weight strictly greater than x; zero-weight items are never
+        // selected because their cumulative value equals their predecessor's.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite weights"))
+        {
+            Ok(mut i) => {
+                // Landed exactly on a cumulative boundary: step to the next strictly
+                // larger entry so zero-weight items keep probability zero.
+                while i + 1 < self.cumulative.len() && self.cumulative[i + 1] <= x {
+                    i += 1;
+                }
+                (i + 1).min(self.cumulative.len() - 1)
+            }
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}

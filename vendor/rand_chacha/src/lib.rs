@@ -1,0 +1,147 @@
+//! Offline shim for [rand_chacha](https://crates.io/crates/rand_chacha).
+//!
+//! Implements [`ChaCha8Rng`] — a genuine ChaCha stream cipher with 8 rounds used as a
+//! deterministic random-number generator — against the shim `rand` traits. Streams are
+//! deterministic per seed *within this implementation*; bit-compatibility with the real
+//! rand_chacha crate is not guaranteed (nothing in the workspace depends on it).
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha generator with 8 rounds, seeded with 256 bits.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Constant + key + counter + nonce words, the ChaCha input block.
+    state: [u32; 16],
+    /// Output of the most recent block function invocation.
+    buffer: [u32; 16],
+    /// Next unread word in `buffer`; 16 means "exhausted".
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Runs the 8-round block function and refills the output buffer.
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // A double round: four column rounds then four diagonal rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .buffer
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        self.index = 0;
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..16 (counter and nonce) start at zero.
+        ChaCha8Rng {
+            state,
+            buffer: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn chacha_block_matches_rfc8439_structure() {
+        // The ChaCha20 test vector from RFC 8439 §2.3.2 exercises the block function
+        // with 20 rounds; with 8 rounds we can still check the all-zero-seed block is
+        // stable and non-degenerate.
+        let mut a = ChaCha8Rng::from_seed([0u8; 32]);
+        let mut b = ChaCha8Rng::from_seed([0u8; 32]);
+        let xs: Vec<u32> = (0..64).map(|_| a.next_u32()).collect();
+        let ys: Vec<u32> = (0..64).map(|_| b.next_u32()).collect();
+        assert_eq!(xs, ys);
+        // Blocks differ (counter advances) and words are not constant.
+        assert_ne!(&xs[..16], &xs[16..32]);
+        assert!(xs.iter().collect::<std::collections::HashSet<_>>().len() > 48);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.gen_range(0usize..10)] += 1;
+        }
+        for (i, &b) in buckets.iter().enumerate() {
+            assert!((800..1200).contains(&b), "bucket {i} count {b}");
+        }
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((0.48..0.52).contains(&mean), "mean {mean}");
+    }
+}

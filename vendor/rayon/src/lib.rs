@@ -1,0 +1,220 @@
+//! Offline shim for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this repository has no access to crates.io, so this crate
+//! provides the exact subset of rayon's API the workspace uses — `par_iter`,
+//! `par_iter_mut`, `into_par_iter`, the standard adapters, and `ThreadPoolBuilder` —
+//! with *sequential* execution. Call sites compile unchanged; swapping the real rayon
+//! back in (see `vendor/README.md`) restores true parallelism without touching any
+//! algorithm code.
+//!
+//! The "parallel" iterators returned here are ordinary [`Iterator`]s, so every std
+//! adapter (`map`, `filter`, `zip`, `enumerate`, `sum`, `collect`, …) works as in
+//! rayon. Rayon-only adapters that the workspace uses (`flat_map_iter`,
+//! `with_min_len`) are provided by a blanket extension trait in [`prelude`].
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Extension trait adding `par_iter` to slices and vectors.
+pub trait ParIterExt<T> {
+    /// Sequential stand-in for rayon's `par_iter`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T> ParIterExt<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+impl<T> ParIterExt<T> for Vec<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+/// Extension trait adding `par_iter_mut` to slices and vectors.
+pub trait ParIterMutExt<T> {
+    /// Sequential stand-in for rayon's `par_iter_mut`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+impl<T> ParIterMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+impl<T> ParIterMutExt<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+/// Extension trait adding `into_par_iter` to owned collections and ranges.
+pub trait IntoParIterExt: IntoIterator + Sized {
+    /// Sequential stand-in for rayon's `into_par_iter`.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T> IntoParIterExt for Vec<T> {}
+impl IntoParIterExt for Range<usize> {}
+impl IntoParIterExt for Range<u32> {}
+impl IntoParIterExt for Range<u64> {}
+
+/// Blanket extension supplying rayon-only adapter names on ordinary iterators.
+pub trait RayonIteratorExt: Iterator + Sized {
+    /// rayon's `flat_map_iter`: identical to `flat_map` in a sequential setting.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// rayon's `with_min_len`: a splitting hint, meaningless sequentially.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// rayon's `with_max_len`: a splitting hint, meaningless sequentially.
+    fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> RayonIteratorExt for I {}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim never fails to build.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A stand-in for rayon's thread pool: `install` simply runs the closure on the
+/// current thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` "inside" the pool (on the current thread in this shim).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The configured thread count (advisory only in this shim).
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the requested thread count (advisory only in this shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Number of threads the global "pool" would use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures on the current thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The rayon prelude: everything call sites need for `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParIterExt, ParIterExt, ParIterMutExt, RayonIteratorExt};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges_and_vecs() {
+        let doubled: Vec<usize> = (0..4usize).into_par_iter().map(|x| 2 * x).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6]);
+        let kept: Vec<i32> = vec![1, -2, 3].into_par_iter().filter(|&x| x > 0).collect();
+        assert_eq!(kept, vec![1, 3]);
+    }
+
+    #[test]
+    fn flat_map_iter_and_hints() {
+        let out: Vec<usize> = (0..3usize)
+            .into_par_iter()
+            .with_min_len(1)
+            .flat_map_iter(|x| vec![x, x])
+            .collect();
+        assert_eq!(out, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn pool_install_runs_closure() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        assert_eq!(pool.install(|| 6 * 7), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

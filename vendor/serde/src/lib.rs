@@ -1,0 +1,220 @@
+//! Offline shim for [serde](https://crates.io/crates/serde).
+//!
+//! The build environment has no crates.io access, so this crate provides the small
+//! slice of serde the workspace uses: a [`Serialize`] trait (realised as conversion
+//! into an owned JSON-like [`Value`]), a matching derive macro re-exported from the
+//! sibling `serde_derive` shim, and a no-op [`Deserialize`] marker so feature-gated
+//! `derive(Deserialize)` attributes still compile. `serde_json` renders [`Value`]
+//! as JSON text.
+//!
+//! Unlike real serde there is no zero-copy serializer plumbing — every serialization
+//! materialises a [`Value`] tree. That is fine for the experiment tables this
+//! workspace serializes.
+
+#![warn(missing_docs)]
+
+// The derive macros emit absolute `::serde::` paths; alias the crate to itself so the
+// derives also work inside this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Owned JSON-like data model produced by [`Serialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types convertible to the [`Value`] data model (the shim's `serde::Serialize`).
+pub trait Serialize {
+    /// Converts `self` into an owned [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait standing in for `serde::Deserialize`. The shim never deserializes;
+/// the derive macro emits an empty impl so gated `derive(Deserialize)` compiles.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize);
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_conversions() {
+        assert_eq!(3usize.to_value(), Value::UInt(3));
+        assert_eq!((-3i32).to_value(), Value::Int(-3));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_and_tuples() {
+        let v = vec![("a".to_string(), 1.0f64)];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Array(vec![
+                Value::Str("a".into()),
+                Value::Float(1.0)
+            ])])
+        );
+    }
+
+    #[derive(Serialize)]
+    struct Demo {
+        name: String,
+        score: f64,
+        tags: Vec<u32>,
+    }
+
+    #[test]
+    fn derive_on_named_struct() {
+        let d = Demo {
+            name: "n".into(),
+            score: 2.5,
+            tags: vec![1, 2],
+        };
+        assert_eq!(
+            d.to_value(),
+            Value::Object(vec![
+                ("name".into(), Value::Str("n".into())),
+                ("score".into(), Value::Float(2.5)),
+                (
+                    "tags".into(),
+                    Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+                ),
+            ])
+        );
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Sizing {
+        Paper,
+        Scaled(f64),
+        Fixed(usize),
+    }
+
+    #[test]
+    fn derive_on_enum_mirrors_serde_external_tagging() {
+        assert_eq!(Sizing::Paper.to_value(), Value::Str("Paper".into()));
+        assert_eq!(
+            Sizing::Scaled(2.0).to_value(),
+            Value::Object(vec![("Scaled".into(), Value::Float(2.0))])
+        );
+        assert_eq!(
+            Sizing::Fixed(4).to_value(),
+            Value::Object(vec![("Fixed".into(), Value::UInt(4))])
+        );
+    }
+}

@@ -1,0 +1,287 @@
+//! Offline shim for serde's derive macros, written against the raw [`proc_macro`] API
+//! (no `syn`/`quote`, which are unavailable offline).
+//!
+//! Supports the shapes the workspace actually derives on: non-generic structs with
+//! named fields, unit structs, and non-generic enums with unit, tuple, or named-field
+//! variants. Anything else produces a `compile_error!` naming the limitation.
+//!
+//! `derive(Serialize)` generates an `impl serde::Serialize` that builds the shim's
+//! `serde::Value` tree using serde's externally-tagged enum representation.
+//! `derive(Deserialize)` generates an empty marker impl — the shim never deserializes.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the type a derive is attached to.
+enum Shape {
+    /// `struct Name { fields }` (possibly empty) or `struct Name;`.
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { variants }`.
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Named-field variant with these field names.
+    Named(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid compile_error tokens")
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`), returning the next
+/// meaningful index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` followed by a bracket group is an attribute.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits the token list of a brace/paren group body on top-level commas, tracking
+/// angle-bracket depth so `Map<K, V>` does not split.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Extracts the field names of a named-field body (`{ a: T, b: U }`).
+fn named_field_names(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for field in split_top_level_commas(body) {
+        let start = skip_attrs_and_vis(&field, 0);
+        match field.get(start) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            _ => return Err("expected a named field".to_string()),
+        }
+        match field.get(start + 1) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err("expected `:` after field name (tuple structs unsupported)".to_string())
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("unsupported item kind `{kind}`"));
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".to_string()),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err("generic types are not supported by the shim derive".to_string());
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            g.stream().into_iter().collect::<Vec<_>>()
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' && kind == "struct" => {
+            return Ok(Shape::Struct {
+                name,
+                fields: Vec::new(),
+            });
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err("tuple structs are not supported by the shim derive".to_string());
+        }
+        _ => return Err("expected item body".to_string()),
+    };
+    if kind == "struct" {
+        let fields = named_field_names(&body)?;
+        return Ok(Shape::Struct { name, fields });
+    }
+    let mut variants = Vec::new();
+    for var in split_top_level_commas(&body) {
+        let start = skip_attrs_and_vis(&var, 0);
+        let vname = match var.get(start) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => continue,
+            _ => return Err("expected variant name".to_string()),
+        };
+        let kind = match var.get(start + 1) {
+            None => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = split_top_level_commas(&g.stream().into_iter().collect::<Vec<_>>());
+                VariantKind::Tuple(fields.len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                VariantKind::Named(named_field_names(&body)?)
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err("enums with explicit discriminants are not supported".to_string());
+            }
+            _ => return Err("unsupported variant shape".to_string()),
+        };
+        variants.push(Variant { name: vname, kind });
+    }
+    Ok(Shape::Enum { name, variants })
+}
+
+fn serialize_impl(shape: &Shape) -> String {
+    match shape {
+        Shape::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let values: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                values.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Derives the shim `serde::Serialize` (conversion into `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(shape) => serialize_impl(&shape)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&format!("derive(Serialize) shim: {msg}")),
+    }
+}
+
+/// Derives the shim `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_shape(input) {
+        Ok(Shape::Struct { name, .. }) | Ok(Shape::Enum { name, .. }) => {
+            format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+                .parse()
+                .expect("generated impl parses")
+        }
+        Err(msg) => compile_error(&format!("derive(Deserialize) shim: {msg}")),
+    }
+}
