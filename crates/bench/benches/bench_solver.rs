@@ -60,10 +60,28 @@ fn bench_solve_vs_condition_number(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_effective_resistances(c: &mut Criterion) {
+    // Exercises the per-edge CG path of `exact_effective_resistances` (the
+    // grid is above the dense-Cholesky cutoff) and the JL-approximate path.
+    // Both paths reuse per-worker scratch buffers via `map_init`; this bench
+    // is the measurement point for that optimisation.
+    let mut group = c.benchmark_group("solver/effective_resistances");
+    group.sample_size(10);
+    let g = Workload::Grid { side: 26 }.build(47); // 676 vertices > DENSE_LIMIT
+    group.bench_function("exact_cg_per_edge", |b| {
+        b.iter(|| sgs_linalg::resistance::exact_effective_resistances(&g))
+    });
+    group.bench_function("approx_jl", |b| {
+        b.iter(|| sgs_linalg::resistance::approx_effective_resistances(&g, 2.0, 7))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_chain_build,
     bench_solve_methods,
-    bench_solve_vs_condition_number
+    bench_solve_vs_condition_number,
+    bench_effective_resistances
 );
 criterion_main!(benches);

@@ -4,14 +4,63 @@
 //! thread pools of growing size and reports wall-clock speed-ups, plus the work counter
 //! (which is thread-count independent, as the PRAM work measure should be).
 //!
-//! Run with: `cargo run --release -p sgs-bench --bin exp_scaling [--json]`
+//! Run with: `cargo run --release -p sgs-bench --bin exp_scaling [-- FLAGS]`
+//!
+//! Flags:
+//! * `--n N` / `--deg D` — workload size: Erdős–Rényi with `N` vertices and expected
+//!   average degree `D` (defaults 4000 / 150, ≈300k edges).
+//! * `--threads 1,2,4` — comma-separated pool widths to sweep (default `1,2,4,8,16`).
+//! * `--json` — append the rows as JSON to stdout (as in every experiment binary).
+//! * `--json-out PATH` — write the rows as a JSON file (for CI artifacts).
+//! * `--bench-json PATH` — write a `BENCH_*.json` perf snapshot (graph size, host
+//!   cores, wall-clock per thread count) for the repo-root perf trajectory.
+//!
+//! Reading the output: `sparsify_ms` / `spanner_ms` are wall-clock; the `*_speedup`
+//! columns are relative to the first (usually 1-thread) row, so ideal scaling shows
+//! `speedup ≈ threads` until the machine runs out of cores. `work_ops`, `m_out` and
+//! `spanner_edges` must be **identical** across rows — the outputs are deterministic
+//! per seed regardless of the thread count; only the wall clock may change.
 
+use serde::Serialize;
 use sgs_bench::{print_table, time_ms, Row, Workload};
 use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
 use sgs_spanner::{baswana_sen_spanner, SpannerConfig};
 
+/// Repo-root perf snapshot: one record per thread count on one fixed workload.
+#[derive(Debug, Clone, Serialize)]
+struct BenchSnapshot {
+    bench: String,
+    workload: String,
+    graph_n: usize,
+    graph_m: usize,
+    host_cores: usize,
+    rows: Vec<Row>,
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() {
-    let g = Workload::ErdosRenyi { n: 4000, deg: 150 }.build(51);
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = flag_value(&args, "--n")
+        .map(|v| v.parse().expect("--n takes an integer"))
+        .unwrap_or(4000);
+    let deg: usize = flag_value(&args, "--deg")
+        .map(|v| v.parse().expect("--deg takes an integer"))
+        .unwrap_or(150);
+    let thread_counts: Vec<usize> = flag_value(&args, "--threads")
+        .map(|v| {
+            v.split(',')
+                .map(|t| t.trim().parse().expect("--threads takes a comma list"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
+
+    let workload = Workload::ErdosRenyi { n, deg };
+    let g = workload.build(51);
     println!("graph: n = {}, m = {}", g.n(), g.m());
 
     let cfg = SparsifyConfig::new(0.75, 8.0)
@@ -21,7 +70,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut baseline_sparsify = f64::NAN;
     let mut baseline_spanner = f64::NAN;
-    for threads in [1usize, 2, 4, 8, 16] {
+    for &threads in &thread_counts {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
             .build()
@@ -33,12 +82,13 @@ fn main() {
         });
         let (spanner_out, spanner_ms) =
             pool.install(|| time_ms(|| baswana_sen_spanner(&g, &SpannerConfig::with_seed(3))));
-        if threads == 1 {
+        if baseline_sparsify.is_nan() {
             baseline_sparsify = sparsify_ms;
             baseline_spanner = spanner_ms;
         }
         rows.push(
             Row::new(format!("threads = {threads}"))
+                .push("threads", threads as f64)
                 .push("sparsify_ms", sparsify_ms)
                 .push("sparsify_speedup", baseline_sparsify / sparsify_ms)
                 .push("spanner_ms", spanner_ms)
@@ -56,4 +106,25 @@ fn main() {
         "the work counter and the outputs are identical across thread counts (deterministic\n\
          seeding); only the wall clock changes, which is the PRAM work/depth separation."
     );
+
+    if let Some(path) = flag_value(&args, "--json-out") {
+        let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+        std::fs::write(&path, json).expect("writing --json-out file");
+        println!("rows written to {path}");
+    }
+    if let Some(path) = flag_value(&args, "--bench-json") {
+        let snapshot = BenchSnapshot {
+            bench: "exp_scaling".to_string(),
+            workload: workload.label(),
+            graph_n: g.n(),
+            graph_m: g.m(),
+            host_cores: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            rows: rows.clone(),
+        };
+        let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
+        std::fs::write(&path, json).expect("writing --bench-json file");
+        println!("perf snapshot written to {path}");
+    }
 }

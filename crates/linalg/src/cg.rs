@@ -160,9 +160,77 @@ pub struct CgOutcome {
     pub converged: bool,
 }
 
+/// Statistics of a scratch-based solve ([`pcg_solve_in`]); the solution stays
+/// in the scratch's buffers.
+#[derive(Debug, Clone)]
+pub struct CgStats {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − A x‖ / ‖b‖`.
+    pub relative_residual: f64,
+    /// Whether the tolerance was reached within the iteration cap.
+    pub converged: bool,
+}
+
+/// Reusable workspace for [`pcg_solve_in`] / [`cg_solve_in`].
+///
+/// A CG solve needs six `n`-vectors of scratch; callers that solve many
+/// systems of the same size (one per edge in the effective-resistance
+/// computation, one per projection row in the Johnson–Lindenstrauss
+/// estimator) allocate one `CgScratch` per worker — e.g. through rayon's
+/// `map_init` — instead of six fresh vectors per solve.
+#[derive(Debug, Clone)]
+pub struct CgScratch {
+    x: Vec<f64>,
+    b: Vec<f64>,
+    r: Vec<f64>,
+    z: Vec<f64>,
+    p: Vec<f64>,
+    ap: Vec<f64>,
+}
+
+impl CgScratch {
+    /// Allocates a workspace for systems of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        CgScratch {
+            x: vec![0.0; n],
+            b: vec![0.0; n],
+            r: vec![0.0; n],
+            z: vec![0.0; n],
+            p: vec![0.0; n],
+            ap: vec![0.0; n],
+        }
+    }
+
+    /// The solution vector of the most recent solve through this scratch.
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+
+    fn resize(&mut self, n: usize) {
+        self.x.resize(n, 0.0);
+        self.b.resize(n, 0.0);
+        self.r.resize(n, 0.0);
+        self.z.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+        self.ap.resize(n, 0.0);
+    }
+}
+
 /// Solves `A x = b` with plain conjugate gradient.
 pub fn cg_solve<A: LinearOperator + ?Sized>(a: &A, b: &[f64], cfg: &CgConfig) -> CgOutcome {
     pcg_solve(a, &IdentityPreconditioner, b, cfg)
+}
+
+/// Solves `A x = b` with plain CG, keeping every intermediate in `scratch`.
+/// The solution is left in [`CgScratch::solution`].
+pub fn cg_solve_in<A: LinearOperator + ?Sized>(
+    a: &A,
+    b: &[f64],
+    cfg: &CgConfig,
+    scratch: &mut CgScratch,
+) -> CgStats {
+    pcg_solve_in(a, &IdentityPreconditioner, b, cfg, scratch)
 }
 
 /// Solves `A x = b` with preconditioned conjugate gradient.
@@ -172,71 +240,101 @@ pub fn pcg_solve<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
     b: &[f64],
     cfg: &CgConfig,
 ) -> CgOutcome {
+    let mut scratch = CgScratch::new(a.dim());
+    let stats = pcg_solve_in(a, m, b, cfg, &mut scratch);
+    CgOutcome {
+        solution: scratch.x,
+        iterations: stats.iterations,
+        relative_residual: stats.relative_residual,
+        converged: stats.converged,
+    }
+}
+
+/// Solves `A x = b` with PCG using caller-provided scratch buffers — the
+/// allocation-free core of [`pcg_solve`]. The solution is left in
+/// [`CgScratch::solution`]; `b` itself is not modified.
+pub fn pcg_solve_in<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    cfg: &CgConfig,
+    scratch: &mut CgScratch,
+) -> CgStats {
     let n = a.dim();
     assert_eq!(b.len(), n, "dimension mismatch");
-    let mut b = b.to_vec();
+    scratch.resize(n);
+    let CgScratch {
+        x,
+        b: rhs,
+        r,
+        z,
+        p,
+        ap,
+    } = scratch;
+    rhs.copy_from_slice(b);
     if cfg.project_ones {
-        vector::project_out_ones(&mut b);
+        vector::project_out_ones(rhs);
     }
-    let b_norm = vector::norm2(&b);
+    let b_norm = vector::norm2(rhs);
     if b_norm == 0.0 {
-        return CgOutcome {
-            solution: vec![0.0; n],
+        x.fill(0.0);
+        return CgStats {
             iterations: 0,
             relative_residual: 0.0,
             converged: true,
         };
     }
 
-    let mut x = vec![0.0; n];
-    let mut r = b.clone();
-    let mut z = vec![0.0; n];
-    m.apply(&r, &mut z);
+    x.fill(0.0);
+    r.copy_from_slice(rhs);
+    m.apply(r, z);
     if cfg.project_ones {
-        vector::project_out_ones(&mut z);
+        vector::project_out_ones(z);
     }
-    let mut p = z.clone();
-    let mut rz = vector::dot(&r, &z);
-    let mut ap = vec![0.0; n];
+    p.copy_from_slice(z);
+    let mut rz = vector::dot(r, z);
     let mut iterations = 0;
 
     for _ in 0..cfg.max_iterations {
         iterations += 1;
-        a.apply_into(&p, &mut ap);
-        let pap = vector::dot(&p, &ap);
+        a.apply_into(p, ap);
+        let pap = vector::dot(p, ap);
         if pap <= 0.0 || !pap.is_finite() {
             break;
         }
         let alpha = rz / pap;
-        vector::axpy(alpha, &p, &mut x);
-        vector::axpy(-alpha, &ap, &mut r);
+        vector::axpy(alpha, p, x);
+        vector::axpy(-alpha, ap, r);
         if cfg.project_ones {
-            vector::project_out_ones(&mut r);
+            vector::project_out_ones(r);
         }
-        let r_norm = vector::norm2(&r);
+        let r_norm = vector::norm2(r);
         if r_norm / b_norm <= cfg.tolerance {
             break;
         }
-        m.apply(&r, &mut z);
+        m.apply(r, z);
         if cfg.project_ones {
-            vector::project_out_ones(&mut z);
+            vector::project_out_ones(z);
         }
-        let rz_new = vector::dot(&r, &z);
+        let rz_new = vector::dot(r, z);
         let beta = rz_new / rz;
         rz = rz_new;
-        for (pi, zi) in p.iter_mut().zip(&z) {
+        for (pi, zi) in p.iter_mut().zip(z.iter()) {
             *pi = zi + beta * *pi;
         }
     }
 
-    // Recompute the true residual for honest reporting.
-    let mut ax = vec![0.0; n];
-    a.apply_into(&x, &mut ax);
-    let res: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
-    let relative_residual = vector::norm2(&res) / b_norm;
-    CgOutcome {
+    // Recompute the true residual for honest reporting, reusing `ap` for
+    // `A x` and accumulating `‖b − A x‖` without a residual vector.
+    a.apply_into(x, ap);
+    let res_sq: f64 = rhs
+        .iter()
+        .zip(ap.iter())
+        .map(|(bi, axi)| (bi - axi) * (bi - axi))
+        .sum();
+    let relative_residual = res_sq.sqrt() / b_norm;
+    CgStats {
         converged: relative_residual <= cfg.tolerance * 10.0,
-        solution: x,
         iterations,
         relative_residual,
     }

@@ -29,35 +29,34 @@ impl CsrMatrix {
         for i in 0..n {
             counts[i + 1] += counts[i];
         }
-        let row_ptr_raw = counts.clone();
+        let row_start = counts.clone();
         let mut cursor = counts;
         let nnz = triplets.len();
-        let mut cols = vec![0usize; nnz];
-        let mut vals = vec![0.0f64; nnz];
+        // Bucket all entries into one row-major buffer, then sort each row's
+        // segment in place — no per-row temporaries.
+        let mut entries: Vec<(usize, f64)> = vec![(0, 0.0); nnz];
         for &(r, c, v) in triplets {
             assert!(c < n, "column index out of range");
-            cols[cursor[r]] = c;
-            vals[cursor[r]] = v;
+            entries[cursor[r]] = (c, v);
             cursor[r] += 1;
         }
-        // Sort each row by column and merge duplicates.
         let mut row_ptr = vec![0usize; n + 1];
         let mut col_idx = Vec::with_capacity(nnz);
         let mut values = Vec::with_capacity(nnz);
         for r in 0..n {
-            let start = row_ptr_raw[r];
-            let end = row_ptr_raw[r + 1];
-            let mut row: Vec<(usize, f64)> = (start..end).map(|i| (cols[i], vals[i])).collect();
-            row.sort_by_key(|&(c, _)| c);
-            for (c, v) in row {
-                if let Some(last) = col_idx.last() {
-                    if *last == c && col_idx.len() > row_ptr[r] {
-                        *values.last_mut().unwrap() += v;
-                        continue;
-                    }
+            let segment = &mut entries[row_start[r]..row_start[r + 1]];
+            segment.sort_unstable_by_key(|&(c, _)| c);
+            // Merge duplicates strictly within this row: comparing against
+            // anything pushed before `row_begin` would merge across row
+            // boundaries.
+            let row_begin = col_idx.len();
+            for &(c, v) in segment.iter() {
+                if col_idx.len() > row_begin && *col_idx.last().unwrap() == c {
+                    *values.last_mut().unwrap() += v;
+                } else {
+                    col_idx.push(c);
+                    values.push(v);
                 }
-                col_idx.push(c);
-                values.push(v);
             }
             row_ptr[r + 1] = col_idx.len();
         }
@@ -223,6 +222,41 @@ mod tests {
         assert_eq!(a.get(0, 1), -1.0);
         assert_eq!(a.get(1, 1), 3.0);
         assert_eq!(a.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn duplicate_merge_is_confined_to_one_row() {
+        // Row 0 ends with column 2 and row 1 starts with column 2 (plus
+        // genuine duplicates inside each row); the shared column must NOT be
+        // merged across the row boundary.
+        let a = CsrMatrix::from_triplets(
+            3,
+            &[
+                (0, 2, 1.0),
+                (0, 2, 2.0),
+                (1, 2, 4.0),
+                (1, 2, 8.0),
+                (1, 0, 1.0),
+                (2, 2, 5.0),
+            ],
+        );
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 2), 3.0);
+        assert_eq!(a.get(1, 2), 12.0);
+        assert_eq!(a.get(1, 0), 1.0);
+        assert_eq!(a.get(2, 2), 5.0);
+        assert_eq!(a.row_ptr(), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn empty_rows_between_duplicates_stay_empty() {
+        // Row 1 is empty; rows 0 and 2 share a column — still no merge.
+        let a = CsrMatrix::from_triplets(3, &[(0, 1, 2.0), (2, 1, 3.0)]);
+        assert_eq!(a.nnz(), 2);
+        assert_eq!(a.get(0, 1), 2.0);
+        assert_eq!(a.get(1, 1), 0.0);
+        assert_eq!(a.get(2, 1), 3.0);
+        assert_eq!(a.row_ptr(), &[0, 1, 1, 2]);
     }
 
     #[test]

@@ -31,7 +31,10 @@ pub mod resistance;
 pub mod spectral;
 pub mod vector;
 
-pub use cg::{cg_solve, pcg_solve, CgConfig, CgOutcome, Preconditioner};
+pub use cg::{
+    cg_solve, cg_solve_in, pcg_solve, pcg_solve_in, CgConfig, CgOutcome, CgScratch, CgStats,
+    Preconditioner,
+};
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use laplacian::{is_sdd, laplacian_of};

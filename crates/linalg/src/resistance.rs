@@ -15,7 +15,7 @@ use rayon::prelude::*;
 
 use sgs_graph::Graph;
 
-use crate::cg::{cg_solve, CgConfig, GraphLaplacianOp};
+use crate::cg::{cg_solve_in, CgConfig, CgScratch, GraphLaplacianOp};
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
 use crate::vector;
@@ -93,15 +93,25 @@ fn exact_cg(g: &Graph) -> Vec<f64> {
         max_iterations: 50 * g.n(),
         project_ones: true,
     };
+    let n = g.n();
+    // One RHS buffer and one CG workspace per executor chunk (not per edge):
+    // the RHS has exactly two nonzeros, so it is reset in O(1) after each
+    // solve instead of being reallocated.
     g.edges()
         .par_iter()
-        .map(|e| {
-            let mut b = vec![0.0; g.n()];
-            b[e.u] = 1.0;
-            b[e.v] = -1.0;
-            let x = cg_solve(&op, &b, &cfg).solution;
-            x[e.u] - x[e.v]
-        })
+        .map_init(
+            || (vec![0.0; n], CgScratch::new(n)),
+            |(b, scratch), e| {
+                b[e.u] = 1.0;
+                b[e.v] = -1.0;
+                cg_solve_in(&op, b, &cfg, scratch);
+                let x = scratch.solution();
+                let resistance = x[e.u] - x[e.v];
+                b[e.u] = 0.0;
+                b[e.v] = 0.0;
+                resistance
+            },
+        )
         .collect()
 }
 
@@ -127,18 +137,24 @@ pub fn approx_effective_resistances(g: &Graph, jl_factor: f64, seed: u64) -> Vec
     };
 
     // For each projection row i: y_i = Bᵀ W^{1/2} q_i  (an n-vector), z_i = L⁺ y_i.
+    // The accumulation buffer and the CG workspace are reused across the rows
+    // of one executor chunk; only the returned solution is a fresh vector.
     let zs: Vec<Vec<f64>> = (0..k)
         .into_par_iter()
-        .map(|i| {
-            let q = vector::rademacher(m, seed.wrapping_add(i as u64).wrapping_mul(0x9E37));
-            let mut y = vec![0.0; n];
-            for (j, e) in g.edges().iter().enumerate() {
-                let val = q[j] * e.w.sqrt();
-                y[e.u] += val;
-                y[e.v] -= val;
-            }
-            cg_solve(&op, &y, &cfg).solution
-        })
+        .map_init(
+            || (vec![0.0; n], CgScratch::new(n)),
+            |(y, scratch), i| {
+                y.fill(0.0);
+                let q = vector::rademacher(m, seed.wrapping_add(i as u64).wrapping_mul(0x9E37));
+                for (j, e) in g.edges().iter().enumerate() {
+                    let val = q[j] * e.w.sqrt();
+                    y[e.u] += val;
+                    y[e.v] -= val;
+                }
+                cg_solve_in(&op, y, &cfg, scratch);
+                scratch.solution().to_vec()
+            },
+        )
         .collect();
 
     let scale = 1.0 / k as f64;

@@ -1,0 +1,94 @@
+//! End-to-end determinism of the parallel pipeline across thread counts.
+//!
+//! The vendored rayon executor chunks work as a function of input length and
+//! hints only — never of the pool width — so every fixed-seed result in this
+//! workspace must be **byte-identical** between a 1-thread and an N-thread
+//! pool. These tests pin that property for the paper's pipeline stages: CSR
+//! mat-vec, effective resistances, Baswana–Sen spanners, edge sampling, and
+//! the full `PARALLELSPARSIFY` loop.
+
+use spectral_sparsify::graph::{generators, stretch};
+use spectral_sparsify::linalg::{approx_effective_resistances, CsrMatrix};
+use spectral_sparsify::spanner::{baswana_sen_spanner, SpannerConfig};
+use spectral_sparsify::sparsify::{
+    parallel_sample, parallel_sparsify, BundleSizing, SparsifyConfig,
+};
+
+/// Runs `op` pinned to a pool of `threads` threads.
+fn on_pool<R>(threads: usize, op: impl FnOnce() -> R) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    pool.install(op)
+}
+
+#[test]
+fn matvec_is_identical_across_thread_counts() {
+    let g = generators::grid2d(60, 60, 1.0); // n = 3600, above the parallel cutoff
+    let l = CsrMatrix::laplacian(&g);
+    let x: Vec<f64> = (0..g.n()).map(|i| (i as f64 * 0.731).sin()).collect();
+    let y1 = on_pool(1, || l.apply(&x));
+    let y4 = on_pool(4, || l.apply(&x));
+    assert_eq!(y1.len(), y4.len());
+    for (a, b) in y1.iter().zip(&y4) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn effective_resistances_are_identical_across_thread_counts() {
+    let g = generators::erdos_renyi(200, 0.15, 1.0, 9);
+    let r1 = on_pool(1, || approx_effective_resistances(&g, 2.0, 11));
+    let r4 = on_pool(4, || approx_effective_resistances(&g, 2.0, 11));
+    assert_eq!(r1.len(), r4.len());
+    for (a, b) in r1.iter().zip(&r4) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+#[test]
+fn spanner_is_identical_across_thread_counts() {
+    let g = generators::erdos_renyi(400, 0.1, 1.0, 13);
+    let cfg = SpannerConfig::with_seed(21);
+    let s1 = on_pool(1, || baswana_sen_spanner(&g, &cfg));
+    let s4 = on_pool(4, || baswana_sen_spanner(&g, &cfg));
+    assert_eq!(s1.edge_ids, s4.edge_ids);
+    assert_eq!(s1.work, s4.work);
+}
+
+#[test]
+fn sampling_is_identical_across_thread_counts() {
+    let g = generators::erdos_renyi(300, 0.25, 1.0, 5);
+    let cfg = SparsifyConfig::new(0.5, 2.0)
+        .with_bundle_sizing(BundleSizing::Fixed(3))
+        .with_seed(17);
+    let a = on_pool(1, || parallel_sample(&g, 0.5, &cfg));
+    let b = on_pool(4, || parallel_sample(&g, 0.5, &cfg));
+    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+    assert_eq!(a.bundle_edges, b.bundle_edges);
+    assert_eq!(a.sampled_edges, b.sampled_edges);
+}
+
+#[test]
+fn full_sparsifier_is_byte_identical_across_thread_counts() {
+    let g = generators::erdos_renyi(400, 0.2, 1.0, 31);
+    let cfg = SparsifyConfig::new(0.75, 4.0)
+        .with_bundle_sizing(BundleSizing::Fixed(4))
+        .with_seed(5);
+    let a = on_pool(1, || parallel_sparsify(&g, &cfg));
+    let b = on_pool(4, || parallel_sparsify(&g, &cfg));
+    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+    assert_eq!(a.stats.total_work(), b.stats.total_work());
+}
+
+#[test]
+fn stretch_computation_is_identical_across_thread_counts() {
+    let g = generators::grid2d(12, 12, 1.0);
+    let h = generators::grid_spanning_tree(12, 12, 1.0);
+    let s1 = on_pool(1, || stretch::stretch_of_all_edges(&g, &h));
+    let s4 = on_pool(4, || stretch::stretch_of_all_edges(&g, &h));
+    for (a, b) in s1.iter().zip(&s4) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

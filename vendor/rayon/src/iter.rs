@@ -1,0 +1,998 @@
+//! Parallel iterators over slices, vectors, and ranges, with the adapter set
+//! this workspace uses.
+//!
+//! # Design
+//!
+//! Every pipeline is an *index-domain* iterator: a source with a known length
+//! plus a stack of adapters, driven chunk-wise by the executor in
+//! [`crate::pool`]. Two capabilities exist:
+//!
+//! * [`ParallelIterator::fold_chunk`] folds the pipeline's items for a domain
+//!   sub-range — enough for `map`/`filter`/`flat_map_iter`/`map_init` and all
+//!   consumers;
+//! * [`IndexedParallelIterator::index`] provides random access, which is what
+//!   `zip` and `enumerate` need to pair items positionally (matching rayon,
+//!   where those adapters also require indexed iterators).
+//!
+//! Consumers (`collect`, `for_each`, `sum`, `count`) cut the domain into
+//! chunks whose size depends only on the length and the
+//! `with_min_len`/`with_max_len` hints — never on the thread count — and
+//! combine per-chunk results **in chunk order**. Collected output order and
+//! floating-point reduction grouping are therefore identical across pool
+//! sizes, which keeps fixed-seed sparsifiers byte-identical on 1 or N
+//! threads.
+
+use std::cell::UnsafeCell;
+use std::iter::Sum;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::pool;
+
+/// A data-parallel iterator over an index domain of known length.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type of the pipeline.
+    type Item: Send;
+
+    /// Number of indices in the source domain (*before* filtering adapters).
+    fn domain_len(&self) -> usize;
+
+    /// Lower chunking hint (`with_min_len`).
+    fn min_len_hint(&self) -> usize {
+        1
+    }
+
+    /// Upper chunking hint (`with_max_len`).
+    fn max_len_hint(&self) -> usize {
+        usize::MAX
+    }
+
+    /// Folds the pipeline's items for domain indices `[start, end)` into
+    /// `acc`, in index order. May be called concurrently from several threads
+    /// on disjoint ranges; across one drive of the pipeline every index is
+    /// visited at most once.
+    fn fold_chunk<A, F>(&self, start: usize, end: usize, acc: A, f: F) -> A
+    where
+        F: FnMut(A, Self::Item) -> A;
+
+    /// Hook invoked once before a consumer drives the pipeline, with the
+    /// number of domain indices the drive will consume; lets owning sources
+    /// (`Vec`) relinquish drop responsibility for exactly the moved-out
+    /// items (a `zip` with a shorter side consumes a prefix only).
+    fn begin_drive(&self, _domain: usize) {}
+
+    /// Maps each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Like rayon's `map_init`: `init` runs once per executor chunk and the
+    /// resulting state is threaded through `f` for every item of that chunk —
+    /// the idiomatic way to reuse scratch buffers across items without
+    /// allocating per item.
+    fn map_init<T, R, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        R: Send,
+        INIT: Fn() -> T + Sync,
+        F: Fn(&mut T, Self::Item) -> R + Sync,
+    {
+        MapInit {
+            base: self,
+            init,
+            f,
+        }
+    }
+
+    /// Keeps only items satisfying `p`.
+    fn filter<P>(self, p: P) -> Filter<Self, P>
+    where
+        P: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, p }
+    }
+
+    /// Maps each item to an `Option`, keeping the `Some` payloads.
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Sync,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Maps each item to a serial iterator and flattens the results
+    /// (rayon's `flat_map_iter`: the inner iterators run sequentially).
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    /// Sets a lower bound on executor chunk sizes.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+
+    /// Sets an upper bound on executor chunk sizes.
+    fn with_max_len(self, max: usize) -> MaxLen<Self> {
+        MaxLen { base: self, max }
+    }
+
+    /// Calls `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.begin_drive(self.domain_len());
+        drive(&self, |start, end| {
+            self.fold_chunk(start, end, (), |(), item| f(item));
+        });
+    }
+
+    /// Collects the items, preserving domain order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items. Per-chunk partial sums are combined in chunk order, so
+    /// the result is deterministic and independent of the thread count.
+    fn sum<S>(self) -> S
+    where
+        S: Send + Sum<Self::Item> + Sum<S>,
+    {
+        self.begin_drive(self.domain_len());
+        let partials: Vec<Option<S>> = drive_collect_chunks(&self, |start, end| {
+            self.fold_chunk(start, end, None, |acc: Option<S>, item| {
+                let item_sum: S = std::iter::once(item).sum();
+                Some(match acc {
+                    None => item_sum,
+                    Some(sum) => [sum, item_sum].into_iter().sum(),
+                })
+            })
+        });
+        partials.into_iter().flatten().sum()
+    }
+
+    /// Counts the items surviving the pipeline.
+    fn count(self) -> usize {
+        self.begin_drive(self.domain_len());
+        let partials: Vec<usize> = drive_collect_chunks(&self, |start, end| {
+            self.fold_chunk(start, end, 0usize, |acc, _| acc + 1)
+        });
+        partials.into_iter().sum()
+    }
+}
+
+/// A parallel iterator with random access by domain index, required by the
+/// positional adapters `zip` and `enumerate` (as in rayon, where they live on
+/// `IndexedParallelIterator`).
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Fetches the item at domain index `i`.
+    ///
+    /// Contract (internal): during one drive each index is fetched at most
+    /// once, which is what makes `&mut` and by-value sources sound.
+    fn index(&self, i: usize) -> Self::Item;
+
+    /// Pairs items positionally with `other`; the domain is the shorter of
+    /// the two.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: IndexedParallelIterator,
+    {
+        Zip { a: self, b: other }
+    }
+
+    /// Pairs each item with its domain index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+}
+
+/// Conversion from a parallel iterator, mirroring `rayon::iter::FromParallelIterator`.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection by driving `it` to completion.
+    fn from_par_iter<I>(it: I) -> Self
+    where
+        I: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(it: I) -> Self
+    where
+        I: ParallelIterator<Item = T>,
+    {
+        it.begin_drive(it.domain_len());
+        let chunks: Vec<Vec<T>> = drive_collect_chunks(&it, |start, end| {
+            it.fold_chunk(
+                start,
+                end,
+                Vec::with_capacity(end - start),
+                |mut v, item| {
+                    v.push(item);
+                    v
+                },
+            )
+        });
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for mut chunk in chunks {
+            out.append(&mut chunk);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Write-once result slots, one per executor chunk. Soundness relies on the
+/// executor's claim counter handing each chunk index to exactly one thread.
+struct Slots<R> {
+    cells: Vec<UnsafeCell<Option<R>>>,
+}
+
+// SAFETY: each cell is written by exactly one thread (the chunk claimant) and
+// only read after the drive completes.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(n: usize) -> Self {
+        Slots {
+            cells: (0..n).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// # Safety
+    /// Must be called at most once per `i`, from the thread owning chunk `i`.
+    unsafe fn put(&self, i: usize, value: R) {
+        unsafe { *self.cells[i].get() = Some(value) };
+    }
+
+    fn into_values(self) -> impl Iterator<Item = R> {
+        self.cells
+            .into_iter()
+            .map(|cell| cell.into_inner().expect("chunk result missing"))
+    }
+}
+
+/// Runs `chunk_fn` over the pipeline's domain with the standard chunking.
+fn drive<I: ParallelIterator>(it: &I, chunk_fn: impl Fn(usize, usize) + Sync) {
+    pool::run_parallel(
+        it.domain_len(),
+        it.min_len_hint(),
+        it.max_len_hint(),
+        &chunk_fn,
+    );
+}
+
+/// Runs `chunk_fn` over the pipeline's domain and returns the per-chunk
+/// results in chunk (i.e. domain) order.
+fn drive_collect_chunks<I, R, F>(it: &I, chunk_fn: F) -> Vec<R>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(usize, usize) -> R + Sync,
+{
+    let len = it.domain_len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = pool::chunk_size(len, it.min_len_hint(), it.max_len_hint());
+    let n_chunks = len.div_ceil(chunk);
+    let slots = Slots::new(n_chunks);
+    pool::run_parallel(len, chunk, chunk, &|start, end| {
+        let result = chunk_fn(start, end);
+        // SAFETY: `start / chunk` is this chunk's unique index; the executor
+        // hands each chunk to exactly one thread.
+        unsafe { slots.put(start / chunk, result) };
+    });
+    slots.into_values().collect()
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]` (rayon's `par_iter`).
+#[derive(Debug)]
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn domain_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn fold_chunk<A, F>(&self, start: usize, end: usize, acc: A, f: F) -> A
+    where
+        F: FnMut(A, Self::Item) -> A,
+    {
+        self.slice[start..end].iter().fold(acc, f)
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParSlice<'a, T> {
+    fn index(&self, i: usize) -> Self::Item {
+        &self.slice[i]
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (rayon's `par_iter_mut`).
+pub struct ParSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: disjoint chunks hand out disjoint `&mut T`s; `T: Send` lets those
+// references cross threads.
+unsafe impl<T: Send> Send for ParSliceMut<'_, T> {}
+unsafe impl<T: Send> Sync for ParSliceMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ParSliceMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn domain_len(&self) -> usize {
+        self.len
+    }
+
+    fn fold_chunk<A, F>(&self, start: usize, end: usize, acc: A, f: F) -> A
+    where
+        F: FnMut(A, Self::Item) -> A,
+    {
+        debug_assert!(start <= end && end <= self.len);
+        // SAFETY: `[start, end)` is in bounds and disjoint from every other
+        // chunk of this drive, so these `&mut`s never alias.
+        let chunk: &'a mut [T] =
+            unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), end - start) };
+        chunk.iter_mut().fold(acc, f)
+    }
+}
+
+impl<'a, T: Send> IndexedParallelIterator for ParSliceMut<'a, T> {
+    fn index(&self, i: usize) -> Self::Item {
+        debug_assert!(i < self.len);
+        // SAFETY: in bounds; the drive contract fetches each index at most
+        // once, so no two `&mut`s to the same element coexist.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Sentinel for [`ParVec::driven_prefix`]: no drive has started.
+const NOT_DRIVEN: usize = usize::MAX;
+
+/// Parallel iterator owning a `Vec<T>` (rayon's `into_par_iter`).
+pub struct ParVec<T> {
+    ptr: *mut T,
+    len: usize,
+    cap: usize,
+    /// [`NOT_DRIVEN`] until a consumer starts driving; then the number of
+    /// leading items the drive moves out (the drive's domain — a `zip` with
+    /// a shorter side consumes a strict prefix). Items past the prefix are
+    /// still owned by this struct and dropped in `Drop`.
+    driven_prefix: AtomicUsize,
+}
+
+// SAFETY: items are moved out of the buffer, each exactly once, on whichever
+// thread claims their chunk; `T: Send` makes that sound.
+unsafe impl<T: Send> Send for ParVec<T> {}
+unsafe impl<T: Send> Sync for ParVec<T> {}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn domain_len(&self) -> usize {
+        self.len
+    }
+
+    fn begin_drive(&self, domain: usize) {
+        self.driven_prefix.store(domain, Ordering::Release);
+    }
+
+    fn fold_chunk<A, F>(&self, start: usize, end: usize, mut acc: A, mut f: F) -> A
+    where
+        F: FnMut(A, Self::Item) -> A,
+    {
+        debug_assert!(start <= end && end <= self.len);
+        for i in start..end {
+            // SAFETY: in bounds, and each index is read exactly once across
+            // the drive (disjoint chunks), moving the item out.
+            let item = unsafe { std::ptr::read(self.ptr.add(i)) };
+            acc = f(acc, item);
+        }
+        acc
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParVec<T> {
+    fn index(&self, i: usize) -> Self::Item {
+        debug_assert!(i < self.len);
+        // SAFETY: in bounds; the drive contract reads each index at most once.
+        unsafe { std::ptr::read(self.ptr.add(i)) }
+    }
+}
+
+impl<T> Drop for ParVec<T> {
+    fn drop(&mut self) {
+        let prefix = self.driven_prefix.load(Ordering::Acquire);
+        if prefix == NOT_DRIVEN {
+            // Never driven: restore and drop the original vector.
+            // SAFETY: all `len` items are still live in the buffer.
+            drop(unsafe { Vec::<T>::from_raw_parts(self.ptr, self.len, self.cap) });
+        } else {
+            // The drive moved out items `[0, prefix)` (any it skipped due to
+            // a mid-drive panic are intentionally leaked); items past the
+            // drive's domain are still live and owned here.
+            // SAFETY: `[prefix, len)` was never touched by any chunk; each
+            // element is dropped exactly once, then the raw buffer is freed
+            // with length 0 so no element drops twice.
+            unsafe {
+                for i in prefix..self.len {
+                    std::ptr::drop_in_place(self.ptr.add(i));
+                }
+                drop(Vec::<T>::from_raw_parts(self.ptr, 0, self.cap));
+            }
+        }
+    }
+}
+
+/// Parallel iterator over an integer range (rayon's `into_par_iter` on ranges).
+#[derive(Debug, Clone, Copy)]
+pub struct ParRange<T> {
+    start: T,
+    len: usize,
+}
+
+/// Integer types usable as parallel range endpoints.
+pub trait RangeIndex: Copy + Send + Sync {
+    /// `self + i`, where `i` is a domain offset.
+    fn offset(self, i: usize) -> Self;
+    /// Domain length of `self..end`.
+    fn distance_to(self, end: Self) -> usize;
+}
+
+macro_rules! impl_range_index {
+    ($($t:ty),*) => {$(
+        impl RangeIndex for $t {
+            fn offset(self, i: usize) -> Self {
+                self + i as $t
+            }
+            fn distance_to(self, end: Self) -> usize {
+                if end > self { (end - self) as usize } else { 0 }
+            }
+        }
+    )*};
+}
+
+impl_range_index!(usize, u32, u64);
+
+impl<T: RangeIndex> ParallelIterator for ParRange<T> {
+    type Item = T;
+
+    fn domain_len(&self) -> usize {
+        self.len
+    }
+
+    fn fold_chunk<A, F>(&self, start: usize, end: usize, mut acc: A, mut f: F) -> A
+    where
+        F: FnMut(A, Self::Item) -> A,
+    {
+        for i in start..end {
+            acc = f(acc, self.start.offset(i));
+        }
+        acc
+    }
+}
+
+impl<T: RangeIndex> IndexedParallelIterator for ParRange<T> {
+    fn index(&self, i: usize) -> Self::Item {
+        self.start.offset(i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// `map` adapter.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn domain_len(&self) -> usize {
+        self.base.domain_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+
+    fn begin_drive(&self, domain: usize) {
+        self.base.begin_drive(domain);
+    }
+
+    fn fold_chunk<A, G>(&self, start: usize, end: usize, acc: A, mut g: G) -> A
+    where
+        G: FnMut(A, Self::Item) -> A,
+    {
+        self.base
+            .fold_chunk(start, end, acc, |acc, item| g(acc, (self.f)(item)))
+    }
+}
+
+impl<I, R, F> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    fn index(&self, i: usize) -> Self::Item {
+        (self.f)(self.base.index(i))
+    }
+}
+
+/// `map_init` adapter: per-chunk state for scratch-buffer reuse.
+#[derive(Debug)]
+pub struct MapInit<I, INIT, F> {
+    base: I,
+    init: INIT,
+    f: F,
+}
+
+impl<I, T, R, INIT, F> ParallelIterator for MapInit<I, INIT, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    INIT: Fn() -> T + Sync,
+    F: Fn(&mut T, I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn domain_len(&self) -> usize {
+        self.base.domain_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+
+    fn begin_drive(&self, domain: usize) {
+        self.base.begin_drive(domain);
+    }
+
+    fn fold_chunk<A, G>(&self, start: usize, end: usize, acc: A, mut g: G) -> A
+    where
+        G: FnMut(A, Self::Item) -> A,
+    {
+        let mut state = (self.init)();
+        self.base.fold_chunk(start, end, acc, |acc, item| {
+            g(acc, (self.f)(&mut state, item))
+        })
+    }
+}
+
+/// `filter` adapter.
+#[derive(Debug)]
+pub struct Filter<I, P> {
+    base: I,
+    p: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Sync,
+{
+    type Item = I::Item;
+
+    fn domain_len(&self) -> usize {
+        self.base.domain_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+
+    fn begin_drive(&self, domain: usize) {
+        self.base.begin_drive(domain);
+    }
+
+    fn fold_chunk<A, G>(&self, start: usize, end: usize, acc: A, mut g: G) -> A
+    where
+        G: FnMut(A, Self::Item) -> A,
+    {
+        self.base.fold_chunk(start, end, acc, |acc, item| {
+            if (self.p)(&item) {
+                g(acc, item)
+            } else {
+                acc
+            }
+        })
+    }
+}
+
+/// `filter_map` adapter.
+#[derive(Debug)]
+pub struct FilterMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for FilterMap<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> Option<R> + Sync,
+{
+    type Item = R;
+
+    fn domain_len(&self) -> usize {
+        self.base.domain_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+
+    fn begin_drive(&self, domain: usize) {
+        self.base.begin_drive(domain);
+    }
+
+    fn fold_chunk<A, G>(&self, start: usize, end: usize, acc: A, mut g: G) -> A
+    where
+        G: FnMut(A, Self::Item) -> A,
+    {
+        self.base
+            .fold_chunk(start, end, acc, |acc, item| match (self.f)(item) {
+                Some(mapped) => g(acc, mapped),
+                None => acc,
+            })
+    }
+}
+
+/// `flat_map_iter` adapter.
+#[derive(Debug)]
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U::Item;
+
+    fn domain_len(&self) -> usize {
+        self.base.domain_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+
+    fn begin_drive(&self, domain: usize) {
+        self.base.begin_drive(domain);
+    }
+
+    fn fold_chunk<A, G>(&self, start: usize, end: usize, acc: A, mut g: G) -> A
+    where
+        G: FnMut(A, Self::Item) -> A,
+    {
+        self.base.fold_chunk(start, end, acc, |mut acc, item| {
+            for inner in (self.f)(item) {
+                acc = g(acc, inner);
+            }
+            acc
+        })
+    }
+}
+
+/// `enumerate` adapter.
+#[derive(Debug)]
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: IndexedParallelIterator,
+{
+    type Item = (usize, I::Item);
+
+    fn domain_len(&self) -> usize {
+        self.base.domain_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+
+    fn begin_drive(&self, domain: usize) {
+        self.base.begin_drive(domain);
+    }
+
+    fn fold_chunk<A, G>(&self, start: usize, end: usize, acc: A, mut g: G) -> A
+    where
+        G: FnMut(A, Self::Item) -> A,
+    {
+        let mut i = start;
+        self.base.fold_chunk(start, end, acc, |acc, item| {
+            let out = g(acc, (i, item));
+            i += 1;
+            out
+        })
+    }
+}
+
+impl<I> IndexedParallelIterator for Enumerate<I>
+where
+    I: IndexedParallelIterator,
+{
+    fn index(&self, i: usize) -> Self::Item {
+        (i, self.base.index(i))
+    }
+}
+
+/// `zip` adapter (positional pairing; domain is the shorter input).
+#[derive(Debug)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn domain_len(&self) -> usize {
+        self.a.domain_len().min(self.b.domain_len())
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.a.min_len_hint().max(self.b.min_len_hint())
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.a.max_len_hint().min(self.b.max_len_hint())
+    }
+
+    fn begin_drive(&self, domain: usize) {
+        self.a.begin_drive(domain);
+        self.b.begin_drive(domain);
+    }
+
+    fn fold_chunk<Acc, G>(&self, start: usize, end: usize, mut acc: Acc, mut g: G) -> Acc
+    where
+        G: FnMut(Acc, Self::Item) -> Acc,
+    {
+        for i in start..end {
+            acc = g(acc, (self.a.index(i), self.b.index(i)));
+        }
+        acc
+    }
+}
+
+impl<A, B> IndexedParallelIterator for Zip<A, B>
+where
+    A: IndexedParallelIterator,
+    B: IndexedParallelIterator,
+{
+    fn index(&self, i: usize) -> Self::Item {
+        (self.a.index(i), self.b.index(i))
+    }
+}
+
+/// `with_min_len` adapter: lower-bounds the executor chunk size.
+#[derive(Debug)]
+pub struct MinLen<I> {
+    base: I,
+    min: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for MinLen<I> {
+    type Item = I::Item;
+
+    fn domain_len(&self) -> usize {
+        self.base.domain_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint().max(self.min)
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint()
+    }
+
+    fn begin_drive(&self, domain: usize) {
+        self.base.begin_drive(domain);
+    }
+
+    fn fold_chunk<A, G>(&self, start: usize, end: usize, acc: A, g: G) -> A
+    where
+        G: FnMut(A, Self::Item) -> A,
+    {
+        self.base.fold_chunk(start, end, acc, g)
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for MinLen<I> {
+    fn index(&self, i: usize) -> Self::Item {
+        self.base.index(i)
+    }
+}
+
+/// `with_max_len` adapter: upper-bounds the executor chunk size.
+#[derive(Debug)]
+pub struct MaxLen<I> {
+    base: I,
+    max: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for MaxLen<I> {
+    type Item = I::Item;
+
+    fn domain_len(&self) -> usize {
+        self.base.domain_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn max_len_hint(&self) -> usize {
+        self.base.max_len_hint().min(self.max.max(1))
+    }
+
+    fn begin_drive(&self, domain: usize) {
+        self.base.begin_drive(domain);
+    }
+
+    fn fold_chunk<A, G>(&self, start: usize, end: usize, acc: A, g: G) -> A
+    where
+        G: FnMut(A, Self::Item) -> A,
+    {
+        self.base.fold_chunk(start, end, acc, g)
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for MaxLen<I> {
+    fn index(&self, i: usize) -> Self::Item {
+        self.base.index(i)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point extension traits
+// ---------------------------------------------------------------------------
+
+/// Extension trait adding `par_iter` to slices and vectors.
+pub trait ParIterExt<T> {
+    /// Returns a parallel iterator over shared references.
+    fn par_iter(&self) -> ParSlice<'_, T>;
+}
+
+impl<T: Sync> ParIterExt<T> for [T] {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<T: Sync> ParIterExt<T> for Vec<T> {
+    fn par_iter(&self) -> ParSlice<'_, T> {
+        ParSlice {
+            slice: self.as_slice(),
+        }
+    }
+}
+
+/// Extension trait adding `par_iter_mut` to slices and vectors.
+pub trait ParIterMutExt<T> {
+    /// Returns a parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
+}
+
+impl<T: Send> ParIterMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+        ParSliceMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Send> ParIterMutExt<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// Extension trait adding `into_par_iter` to owned collections and ranges.
+pub trait IntoParIterExt {
+    /// The resulting parallel iterator type.
+    type Iter: ParallelIterator;
+    /// Converts `self` into a parallel iterator over owned items.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParIterExt for Vec<T> {
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        let mut v = std::mem::ManuallyDrop::new(self);
+        ParVec {
+            ptr: v.as_mut_ptr(),
+            len: v.len(),
+            cap: v.capacity(),
+            driven_prefix: AtomicUsize::new(NOT_DRIVEN),
+        }
+    }
+}
+
+impl<T: RangeIndex> IntoParIterExt for Range<T> {
+    type Iter = ParRange<T>;
+
+    fn into_par_iter(self) -> ParRange<T> {
+        ParRange {
+            start: self.start,
+            len: self.start.distance_to(self.end),
+        }
+    }
+}

@@ -1,180 +1,52 @@
-//! Offline shim for [rayon](https://crates.io/crates/rayon).
+//! Offline shim for [rayon](https://crates.io/crates/rayon) with a **real
+//! fork-join executor**.
 //!
-//! The build environment for this repository has no access to crates.io, so this crate
-//! provides the exact subset of rayon's API the workspace uses — `par_iter`,
-//! `par_iter_mut`, `into_par_iter`, the standard adapters, and `ThreadPoolBuilder` —
-//! with *sequential* execution. Call sites compile unchanged; swapping the real rayon
-//! back in (see `vendor/README.md`) restores true parallelism without touching any
-//! algorithm code.
+//! The build environment for this repository has no access to crates.io, so
+//! this crate provides the subset of rayon's API the workspace uses —
+//! `par_iter`, `par_iter_mut`, `into_par_iter`, the standard adapters,
+//! `join`, and `ThreadPoolBuilder` — backed by a genuine thread pool: a
+//! lazily started global pool (sized by `RAYON_NUM_THREADS` or the machine's
+//! available parallelism) plus explicitly built pools whose
+//! [`ThreadPool::install`] pins the work they execute to their configured
+//! width. Call sites compile unchanged against real rayon (see
+//! `vendor/README.md`).
 //!
-//! The "parallel" iterators returned here are ordinary [`Iterator`]s, so every std
-//! adapter (`map`, `filter`, `zip`, `enumerate`, `sum`, `collect`, …) works as in
-//! rayon. Rayon-only adapters that the workspace uses (`flat_map_iter`,
-//! `with_min_len`) are provided by a blanket extension trait in [`prelude`].
+//! # Determinism
+//!
+//! Unlike real rayon, chunking is a deterministic function of the input
+//! length and the `with_min_len`/`with_max_len` hints alone — never of the
+//! thread count or scheduling. Collected results preserve input order and
+//! reductions combine per-chunk partials in chunk order, so every pipeline
+//! (including floating-point sums) produces bitwise identical results on 1
+//! thread and on N threads. Fixed-seed sparsifiers in this workspace rely on
+//! that property.
 
 #![warn(missing_docs)]
 
-use std::ops::Range;
+mod iter;
+mod pool;
 
-/// Extension trait adding `par_iter` to slices and vectors.
-pub trait ParIterExt<T> {
-    /// Sequential stand-in for rayon's `par_iter`.
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-}
-
-impl<T> ParIterExt<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
-    }
-}
-
-impl<T> ParIterExt<T> for Vec<T> {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
-    }
-}
-
-/// Extension trait adding `par_iter_mut` to slices and vectors.
-pub trait ParIterMutExt<T> {
-    /// Sequential stand-in for rayon's `par_iter_mut`.
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-}
-
-impl<T> ParIterMutExt<T> for [T] {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
-    }
-}
-
-impl<T> ParIterMutExt<T> for Vec<T> {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
-    }
-}
-
-/// Extension trait adding `into_par_iter` to owned collections and ranges.
-pub trait IntoParIterExt: IntoIterator + Sized {
-    /// Sequential stand-in for rayon's `into_par_iter`.
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
-    }
-}
-
-impl<T> IntoParIterExt for Vec<T> {}
-impl IntoParIterExt for Range<usize> {}
-impl IntoParIterExt for Range<u32> {}
-impl IntoParIterExt for Range<u64> {}
-
-/// Blanket extension supplying rayon-only adapter names on ordinary iterators.
-pub trait RayonIteratorExt: Iterator + Sized {
-    /// rayon's `flat_map_iter`: identical to `flat_map` in a sequential setting.
-    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-    where
-        U: IntoIterator,
-        F: FnMut(Self::Item) -> U,
-    {
-        self.flat_map(f)
-    }
-
-    /// rayon's `with_min_len`: a splitting hint, meaningless sequentially.
-    fn with_min_len(self, _min: usize) -> Self {
-        self
-    }
-
-    /// rayon's `with_max_len`: a splitting hint, meaningless sequentially.
-    fn with_max_len(self, _max: usize) -> Self {
-        self
-    }
-}
-
-impl<I: Iterator> RayonIteratorExt for I {}
-
-/// Error returned by [`ThreadPoolBuilder::build`]. The shim never fails to build.
-#[derive(Debug)]
-pub struct ThreadPoolBuildError;
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool construction failed")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// A stand-in for rayon's thread pool: `install` simply runs the closure on the
-/// current thread.
-#[derive(Debug)]
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    /// Runs `op` "inside" the pool (on the current thread in this shim).
-    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        op()
-    }
-
-    /// The configured thread count (advisory only in this shim).
-    pub fn current_num_threads(&self) -> usize {
-        self.num_threads
-    }
-}
-
-/// Builder matching `rayon::ThreadPoolBuilder`.
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    /// Creates a builder with default settings.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Records the requested thread count (advisory only in this shim).
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = n;
-        self
-    }
-
-    /// Builds the pool. Never fails in this shim.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            self.num_threads
-        };
-        Ok(ThreadPool { num_threads: n })
-    }
-}
-
-/// Number of threads the global "pool" would use.
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-}
-
-/// Sequential stand-in for `rayon::join`: runs both closures on the current thread.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
+pub use iter::{
+    Enumerate, Filter, FilterMap, FlatMapIter, FromParallelIterator, IndexedParallelIterator,
+    IntoParIterExt, Map, MapInit, MaxLen, MinLen, ParIterExt, ParIterMutExt, ParRange, ParSlice,
+    ParSliceMut, ParVec, ParallelIterator, RangeIndex, Zip,
+};
+pub use pool::{current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
 
 /// The rayon prelude: everything call sites need for `use rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{IntoParIterExt, ParIterExt, ParIterMutExt, RayonIteratorExt};
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParIterExt, ParIterExt, ParIterMutExt,
+        ParallelIterator,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn par_iter_matches_iter() {
@@ -216,5 +88,233 @@ mod tests {
             .expect("pool");
         assert_eq!(pool.install(|| 6 * 7), 42);
         assert_eq!(pool.current_num_threads(), 4);
+    }
+
+    #[test]
+    fn collect_preserves_order_on_large_input() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let n = 100_000usize;
+        let out: Vec<usize> = pool.install(|| (0..n).into_par_iter().map(|i| i * i).collect());
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * i);
+        }
+    }
+
+    #[test]
+    fn work_really_runs_on_multiple_threads() {
+        // Claiming a chunk costs ~nothing compared to the sleep, so with more
+        // chunks than threads every worker gets a share even on one core (the
+        // sleep yields the CPU to the pool threads).
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..64usize).into_par_iter().with_max_len(1).for_each(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        let distinct = ids.lock().unwrap().len();
+        assert!(distinct > 1, "all 64 tasks ran on one thread");
+        assert!(distinct <= 4, "work leaked outside the 4-thread pool");
+    }
+
+    #[test]
+    fn single_thread_pool_stays_on_one_thread() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool");
+        let ids = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..64usize).into_par_iter().with_max_len(1).for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert_eq!(ids.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn results_are_identical_across_pool_sizes() {
+        // Bitwise determinism: chunking depends only on the length and hints,
+        // so float reduction order is the same on 1 and 8 threads.
+        let xs: Vec<f64> = (0..50_000).map(|i| (i as f64 * 0.37).sin()).collect();
+        let ys: Vec<f64> = (0..50_000).map(|i| (i as f64 * 0.11).cos()).collect();
+        let run = |threads: usize| -> (f64, Vec<f64>) {
+            let pool = super::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool");
+            pool.install(|| {
+                let dot: f64 = xs.par_iter().zip(ys.par_iter()).map(|(a, b)| a * b).sum();
+                let mapped: Vec<f64> = xs.par_iter().map(|a| a * 3.0 + 1.0).collect();
+                (dot, mapped)
+            })
+        };
+        let (dot1, mapped1) = run(1);
+        let (dot8, mapped8) = run(8);
+        assert_eq!(dot1.to_bits(), dot8.to_bits());
+        assert_eq!(mapped1, mapped8);
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_chunks() {
+        let inits = AtomicUsize::new(0);
+        let n = 10_000usize;
+        let out: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    vec![0u8; 16]
+                },
+                |scratch, i| {
+                    scratch[0] = scratch[0].wrapping_add(1);
+                    i + 1
+                },
+            )
+            .collect();
+        assert_eq!(out[0], 1);
+        assert_eq!(out[n - 1], n);
+        let init_count = inits.load(Ordering::Relaxed);
+        assert!(
+            init_count < n / 10,
+            "map_init ran init per item ({init_count} times for {n} items)"
+        );
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .expect("pool");
+        let (a, b) = pool.install(|| {
+            super::join(
+                || (0..1000u64).sum::<u64>(),
+                || (0..1000u64).product::<u64>(),
+            )
+        });
+        assert_eq!(a, 499_500);
+        assert_eq!(b, 0);
+        // Sequential fallback path.
+        let one = super::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("pool");
+        assert_eq!(one.install(|| super::join(|| 1, || 2)), (1, 2));
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..1000usize).into_par_iter().for_each(|i| {
+                    if i == 500 {
+                        panic!("boom");
+                    }
+                });
+            })
+        }));
+        assert!(result.is_err());
+        // The pool survives a panicked job.
+        assert_eq!(pool.install(|| 2 + 2), 4);
+        let sum: usize = pool.install(|| (0..10usize).into_par_iter().sum());
+        assert_eq!(sum, 45);
+    }
+
+    #[test]
+    fn owned_vec_items_are_not_leaked_or_double_dropped() {
+        use std::sync::Arc;
+        let tracker = Arc::new(());
+        let items: Vec<Arc<()>> = (0..1000).map(|_| Arc::clone(&tracker)).collect();
+        assert_eq!(Arc::strong_count(&tracker), 1001);
+        let kept: Vec<Arc<()>> = items.into_par_iter().filter(|_| false).collect();
+        assert!(kept.is_empty());
+        assert_eq!(Arc::strong_count(&tracker), 1);
+        // Dropping an un-driven parallel iterator drops its items.
+        let items: Vec<Arc<()>> = (0..10).map(|_| Arc::clone(&tracker)).collect();
+        let it = items.into_par_iter();
+        assert_eq!(Arc::strong_count(&tracker), 11);
+        drop(it);
+        assert_eq!(Arc::strong_count(&tracker), 1);
+    }
+
+    #[test]
+    fn zip_with_shorter_side_drops_unconsumed_tail() {
+        use std::sync::Arc;
+        let tracker = Arc::new(());
+        let long: Vec<Arc<()>> = (0..100).map(|_| Arc::clone(&tracker)).collect();
+        let short: Vec<u32> = (0..30).collect();
+        let pairs: Vec<(Arc<()>, u32)> = long.into_par_iter().zip(short.into_par_iter()).collect();
+        assert_eq!(pairs.len(), 30);
+        drop(pairs);
+        // The 70 tail items of `long` were never part of the zip's domain and
+        // must still have been dropped, not leaked.
+        assert_eq!(Arc::strong_count(&tracker), 1);
+    }
+
+    #[test]
+    fn crossed_chunking_hints_do_not_panic() {
+        let out: Vec<usize> = (0..1000usize)
+            .into_par_iter()
+            .with_min_len(64)
+            .with_max_len(8)
+            .map(|x| x)
+            .collect();
+        assert_eq!(out.len(), 1000);
+        assert_eq!(out[999], 999);
+    }
+
+    #[test]
+    fn nested_parallelism_is_correct() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .expect("pool");
+        let totals: Vec<u64> = pool.install(|| {
+            (0..64u64)
+                .into_par_iter()
+                .map(|i| (0..1000u64).into_par_iter().map(|j| i + j).sum::<u64>())
+                .collect()
+        });
+        for (i, &t) in totals.iter().enumerate() {
+            assert_eq!(t, (0..1000u64).map(|j| i as u64 + j).sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn current_num_threads_reflects_installed_pool() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .expect("pool");
+        assert_eq!(pool.install(super::current_num_threads), 3);
+        assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn filter_map_and_enumerate_compose() {
+        let data: Vec<i64> = (0..10_000).collect();
+        let picked: Vec<(usize, i64)> = data
+            .par_iter()
+            .enumerate()
+            .filter_map(|(i, &v)| if v % 3 == 0 { Some((i, v * 2)) } else { None })
+            .collect();
+        let expected: Vec<(usize, i64)> = data
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &v)| if v % 3 == 0 { Some((i, v * 2)) } else { None })
+            .collect();
+        assert_eq!(picked, expected);
     }
 }

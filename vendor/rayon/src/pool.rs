@@ -1,0 +1,509 @@
+//! The fork-join executor: worker threads, job distribution, and chunked
+//! parallel-for, shared by [`crate::join`] and the iterator layer.
+//!
+//! # Execution model
+//!
+//! A [`Registry`] owns a set of worker threads and an injector queue. A
+//! data-parallel operation over a domain of `len` indices is cut into
+//! fixed-size chunks; the chunk size depends **only** on `len` and the
+//! `with_min_len`/`with_max_len` hints — never on the thread count — so the
+//! grouping of floating-point reductions (and therefore every bit of every
+//! result) is identical whether the operation runs on one thread or many.
+//!
+//! The calling thread shares the job with the pool's workers and participates
+//! itself: workers and caller race to claim chunk indices from an atomic
+//! counter, so the caller can never block on work nobody has picked up. The
+//! caller returns only after every chunk has finished executing, which is what
+//! makes it sound to hand the workers a reference to a stack-allocated
+//! closure.
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Fixed target number of chunks per parallel operation. Kept independent of
+/// the thread count so that results are bitwise reproducible across pool
+/// sizes; 32 chunks keep up to ~16 threads busy with 2× load-balancing slack.
+const TARGET_CHUNKS: usize = 32;
+
+/// Picks the chunk size for a domain of `len` items under the iterator's
+/// splitting hints. Deterministic: depends only on its arguments.
+pub(crate) fn chunk_size(len: usize, min_len: usize, max_len: usize) -> usize {
+    let target = len.div_ceil(TARGET_CHUNKS).max(1);
+    // Crossed hints (min > max, possible when zip combines sides with
+    // different hints) are reconciled in favor of the lower bound rather
+    // than panicking in `clamp`.
+    let lo = min_len.max(1);
+    let hi = max_len.max(1).max(lo);
+    target.clamp(lo, hi)
+}
+
+/// A chunk-runner: executes the pipeline over domain indices `[start, end)`.
+type ChunkFn = dyn Fn(usize, usize) + Sync;
+
+/// One in-flight parallel operation. Workers and the submitting thread claim
+/// chunk indices from `next` until exhausted; the last finisher flips the
+/// `finished` latch.
+struct Job {
+    /// Type- and lifetime-erased pointer to the chunk runner on the caller's
+    /// stack. Only dereferenced while chunks remain unclaimed, which the
+    /// caller outlives by construction (it blocks until `finished`).
+    func: *const ChunkFn,
+    len: usize,
+    chunk: usize,
+    n_chunks: usize,
+    next: AtomicUsize,
+    completed: AtomicUsize,
+    status: Mutex<JobStatus>,
+    done: Condvar,
+}
+
+#[derive(Default)]
+struct JobStatus {
+    finished: bool,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+// SAFETY: `func` is only dereferenced while the submitting thread is blocked
+// in `Registry::run_job`, keeping the referent alive; all other fields are
+// Sync. The pointer itself is inert data once the job has finished.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+thread_local! {
+    /// Depth of `Job::work` chunk executions on this thread. Non-zero means
+    /// the pool is already saturated from this thread's point of view, so
+    /// nested parallel operations run inline instead of posting jobs nobody
+    /// is free to take.
+    static WORK_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Decrements [`WORK_DEPTH`] on drop, so panicking chunks restore it too.
+struct DepthGuard;
+
+impl DepthGuard {
+    fn enter() -> Self {
+        WORK_DEPTH.with(|d| d.set(d.get() + 1));
+        DepthGuard
+    }
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        WORK_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+impl Job {
+    /// Claims and runs chunks until the claim counter is exhausted. Called by
+    /// worker threads and by the submitting thread alike. Panics from the
+    /// chunk runner are captured into `status` (first one wins) so workers
+    /// survive and the submitter can rethrow.
+    fn work(&self) {
+        loop {
+            let c = self.next.fetch_add(1, Ordering::Relaxed);
+            if c >= self.n_chunks {
+                return;
+            }
+            let start = c * self.chunk;
+            let end = (start + self.chunk).min(self.len);
+            // SAFETY: a claimed chunk implies the job is unfinished, so the
+            // submitting thread is still alive and blocked, keeping `func`
+            // valid.
+            let run = || {
+                let _depth = DepthGuard::enter();
+                unsafe { (*self.func)(start, end) }
+            };
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(run)) {
+                let mut st = self.status.lock().unwrap();
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+            if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.n_chunks {
+                let mut st = self.status.lock().unwrap();
+                st.finished = true;
+                drop(st);
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+struct Injector {
+    jobs: VecDeque<Arc<Job>>,
+    shutdown: bool,
+}
+
+/// Shared state of a thread pool: the injector queue plus the configured
+/// parallelism width.
+pub(crate) struct Registry {
+    inject: Mutex<Injector>,
+    work_available: Condvar,
+    num_threads: usize,
+}
+
+impl Registry {
+    fn new(num_threads: usize) -> Arc<Self> {
+        Arc::new(Registry {
+            inject: Mutex::new(Injector {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_available: Condvar::new(),
+            num_threads,
+        })
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Spawns the pool's worker threads: `num_threads - 1` of them, because
+    /// the thread submitting a job always works on it too, making up the
+    /// configured width. With `num_threads == 1` everything runs inline on
+    /// the submitter and no threads are spawned.
+    fn spawn_workers(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
+        (1..self.num_threads)
+            .map(|i| {
+                let registry = Arc::clone(self);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-worker-{i}"))
+                    .spawn(move || worker_loop(registry))
+                    .expect("failed to spawn pool worker thread")
+            })
+            .collect()
+    }
+
+    fn shutdown(&self) {
+        let mut inj = self.inject.lock().unwrap();
+        inj.shutdown = true;
+        drop(inj);
+        self.work_available.notify_all();
+    }
+
+    /// Runs `f` over `[0, len)` cut into `chunk`-sized pieces, using this
+    /// registry's workers plus the current thread. Blocks until every chunk
+    /// has completed; rethrows the first chunk panic.
+    pub(crate) fn run_chunked(
+        self: &Arc<Self>,
+        len: usize,
+        chunk: usize,
+        f: &(dyn Fn(usize, usize) + Sync),
+    ) {
+        if len == 0 {
+            return;
+        }
+        let n_chunks = len.div_ceil(chunk);
+        let nested = WORK_DEPTH.with(|d| d.get()) > 0;
+        if n_chunks <= 1 || self.num_threads <= 1 || nested {
+            // Inline execution, preserving the exact chunk boundaries the
+            // parallel path would use: consumers rely on one call per chunk,
+            // and reductions rely on identical grouping across pool sizes.
+            // The `nested` case (a parallel op inside a worker's chunk) runs
+            // here because every pool thread is already busy on the outer
+            // job: posting would only contend on the injector lock.
+            let mut start = 0;
+            while start < len {
+                let end = (start + chunk).min(len);
+                f(start, end);
+                start = end;
+            }
+            return;
+        }
+        // SAFETY: erasing the lifetime is sound because this function does not
+        // return until `finished` is observed, i.e. until no thread will ever
+        // dereference `func` again.
+        let func: *const ChunkFn = unsafe { std::mem::transmute(f) };
+        let job = Arc::new(Job {
+            func,
+            len,
+            chunk,
+            n_chunks,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            status: Mutex::new(JobStatus::default()),
+            done: Condvar::new(),
+        });
+        // One queue entry per helper that could usefully join in. Workers that
+        // pop an already-exhausted job return immediately, so over-posting is
+        // harmless.
+        let copies = (self.num_threads - 1).min(n_chunks - 1);
+        {
+            let mut inj = self.inject.lock().unwrap();
+            for _ in 0..copies {
+                inj.jobs.push_back(Arc::clone(&job));
+            }
+        }
+        self.work_available.notify_all();
+
+        // The submitter is one of the pool's threads for this job's purposes.
+        job.work();
+
+        let mut st = job.status.lock().unwrap();
+        while !st.finished {
+            st = job.done.wait(st).unwrap();
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(registry: Arc<Registry>) {
+    CURRENT_REGISTRY.with(|current| {
+        *current.borrow_mut() = Some(Arc::clone(&registry));
+    });
+    loop {
+        let job = {
+            let mut inj = registry.inject.lock().unwrap();
+            loop {
+                if inj.shutdown {
+                    return;
+                }
+                if let Some(job) = inj.jobs.pop_front() {
+                    break job;
+                }
+                inj = registry.work_available.wait(inj).unwrap();
+            }
+        };
+        job.work();
+    }
+}
+
+thread_local! {
+    /// The registry parallel operations on this thread dispatch to: set for
+    /// pool workers permanently and for installer threads for the duration of
+    /// `ThreadPool::install`; `None` means "use the global pool".
+    static CURRENT_REGISTRY: std::cell::RefCell<Option<Arc<Registry>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Swaps the current thread's registry, returning the previous value.
+pub(crate) fn swap_current_registry(new: Option<Arc<Registry>>) -> Option<Arc<Registry>> {
+    CURRENT_REGISTRY.with(|current| std::mem::replace(&mut *current.borrow_mut(), new))
+}
+
+/// The registry the current thread should submit to.
+pub(crate) fn current_registry() -> Arc<Registry> {
+    CURRENT_REGISTRY
+        .with(|current| current.borrow().clone())
+        .unwrap_or_else(|| Arc::clone(global_registry()))
+}
+
+/// Default parallelism width: `RAYON_NUM_THREADS` when set to a positive
+/// integer (mirroring real rayon's environment control), otherwise the
+/// machine's available parallelism.
+fn default_num_threads() -> usize {
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// The lazily started global pool. Its worker threads live for the rest of
+/// the process.
+fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let registry = Registry::new(default_num_threads());
+        // Handles intentionally dropped: the global pool is never torn down.
+        let _detached = registry.spawn_workers();
+        registry
+    })
+}
+
+/// Runs `f` over the domain `[0, len)` on the current thread's pool, honoring
+/// the `min_len`/`max_len` chunking hints. The entry point used by the
+/// iterator layer.
+pub(crate) fn run_parallel(
+    len: usize,
+    min_len: usize,
+    max_len: usize,
+    f: &(dyn Fn(usize, usize) + Sync),
+) {
+    let chunk = chunk_size(len, min_len, max_len);
+    current_registry().run_chunked(len, chunk, f);
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`]. The shim never fails to
+/// build a pool, but the type is part of rayon's API surface.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A fork-join thread pool. Parallel operations executed inside
+/// [`ThreadPool::install`] are pinned to this pool's `num_threads` threads
+/// (the installer thread counts as one of them).
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.registry.num_threads())
+            .finish()
+    }
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool as the dispatch target for every parallel
+    /// operation it performs. `op` itself runs on the calling thread, which
+    /// participates in the pool's work while inside parallel operations.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = swap_current_registry(Some(Arc::clone(&self.registry)));
+        let _restore = RestoreRegistry(previous);
+        op()
+    }
+
+    /// The pool's configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Restores the previous thread-local registry on scope exit (panic-safe).
+struct RestoreRegistry(Option<Arc<Registry>>);
+
+impl Drop for RestoreRegistry {
+    fn drop(&mut self) {
+        swap_current_registry(self.0.take());
+    }
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the pool width. `0` (the default) means "use the environment
+    /// default": `RAYON_NUM_THREADS` or the machine's available parallelism.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool, spawning its worker threads.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        let registry = Registry::new(n);
+        let workers = registry.spawn_workers();
+        Ok(ThreadPool { registry, workers })
+    }
+}
+
+/// Number of threads the current pool (the innermost `install`, or the global
+/// pool) uses.
+pub fn current_num_threads() -> usize {
+    current_registry().num_threads()
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+///
+/// `b` is offered to the current pool while the calling thread runs `a`; if no
+/// worker has picked `b` up by the time `a` finishes, the caller reclaims and
+/// runs it inline, so `join` never blocks on an idle pool.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let registry = current_registry();
+    if registry.num_threads() <= 1 || WORK_DEPTH.with(|d| d.get()) > 0 {
+        return (a(), b());
+    }
+    let b_slot = Mutex::new(Some(b));
+    let rb_slot = Mutex::new(None::<RB>);
+    let run_b = |_start: usize, _end: usize| {
+        let b = b_slot
+            .lock()
+            .unwrap()
+            .take()
+            .expect("join task claimed twice");
+        let rb = b();
+        *rb_slot.lock().unwrap() = Some(rb);
+    };
+    let run_b_ref: &(dyn Fn(usize, usize) + Sync) = &run_b;
+    let ra = {
+        let job = Arc::new(Job {
+            // SAFETY: same argument as `run_chunked` — this scope does not
+            // exit until the job's `finished` latch is observed below.
+            func: unsafe { std::mem::transmute(run_b_ref) },
+            len: 1,
+            chunk: 1,
+            n_chunks: 1,
+            next: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            status: Mutex::new(JobStatus::default()),
+            done: Condvar::new(),
+        });
+        {
+            let mut inj = registry.inject.lock().unwrap();
+            inj.jobs.push_back(Arc::clone(&job));
+        }
+        registry.work_available.notify_one();
+
+        let ra = panic::catch_unwind(AssertUnwindSafe(a));
+
+        // Reclaim `b` if nobody took it; otherwise wait for the worker.
+        job.work();
+        let mut st = job.status.lock().unwrap();
+        while !st.finished {
+            st = job.done.wait(st).unwrap();
+        }
+        if let Some(payload) = st.panic.take() {
+            drop(st);
+            panic::resume_unwind(payload);
+        }
+        drop(st);
+        match ra {
+            Ok(ra) => ra,
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    };
+    let rb = rb_slot
+        .lock()
+        .unwrap()
+        .take()
+        .expect("join task did not produce a result");
+    (ra, rb)
+}
