@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sgs_bench::Workload;
-use sgs_spanner::{baswana_sen_spanner, greedy_spanner, SpannerConfig};
+use sgs_spanner::{baswana_sen_spanner, greedy_spanner, t_bundle, BundleConfig, SpannerConfig};
 
 fn bench_spanner_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("spanner/baswana_sen_scaling");
@@ -32,6 +32,20 @@ fn bench_spanner_parallel_vs_sequential(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_t_bundle(c: &mut Criterion) {
+    // The t-bundle peeling is the sparsifier's hot path (Section 3.1): this tracks the
+    // engine's build-once/compact-in-place CSR against the per-component cost.
+    let mut group = c.benchmark_group("spanner/t_bundle");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 2000, deg: 60 }.build(7);
+    for t in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::new("t", t), &t, |b, &t| {
+            b.iter(|| t_bundle(&g, &BundleConfig::new(t).with_seed(5)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_greedy_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("spanner/greedy_baseline");
     group.sample_size(10);
@@ -48,6 +62,7 @@ criterion_group!(
     benches,
     bench_spanner_scaling,
     bench_spanner_parallel_vs_sequential,
+    bench_t_bundle,
     bench_greedy_baseline
 );
 criterion_main!(benches);

@@ -15,16 +15,18 @@
 //! * `--bench-json PATH` — write a `BENCH_*.json` perf snapshot (graph size, host
 //!   cores, wall-clock per thread count) for the repo-root perf trajectory.
 //!
-//! Reading the output: `sparsify_ms` / `spanner_ms` are wall-clock; the `*_speedup`
-//! columns are relative to the first (usually 1-thread) row, so ideal scaling shows
-//! `speedup ≈ threads` until the machine runs out of cores. `work_ops`, `m_out` and
-//! `spanner_edges` must be **identical** across rows — the outputs are deterministic
-//! per seed regardless of the thread count; only the wall clock may change.
+//! Reading the output: `sparsify_ms` / `spanner_ms` / `bundle_ms` are wall-clock; the
+//! `*_speedup` columns are relative to the first (usually 1-thread) row, so ideal
+//! scaling shows `speedup ≈ threads` until the machine runs out of cores. `work_ops`,
+//! `m_out`, `spanner_edges` and `bundle_edges` must be **identical** across rows — the
+//! outputs are deterministic per seed regardless of the thread count; only the wall
+//! clock may change. `bench_compare` diffs two `--bench-json` snapshots and fails on
+//! single-thread wall-clock regressions (the CI perf gate).
 
 use serde::Serialize;
 use sgs_bench::{print_table, time_ms, Row, Workload};
 use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
-use sgs_spanner::{baswana_sen_spanner, SpannerConfig};
+use sgs_spanner::{baswana_sen_spanner, t_bundle, BundleConfig, SpannerConfig};
 
 /// Repo-root perf snapshot: one record per thread count on one fixed workload.
 #[derive(Debug, Clone, Serialize)]
@@ -82,6 +84,8 @@ fn main() {
         });
         let (spanner_out, spanner_ms) =
             pool.install(|| time_ms(|| baswana_sen_spanner(&g, &SpannerConfig::with_seed(3))));
+        let (bundle_out, bundle_ms) =
+            pool.install(|| time_ms(|| t_bundle(&g, &BundleConfig::new(3).with_seed(3))));
         if baseline_sparsify.is_nan() {
             baseline_sparsify = sparsify_ms;
             baseline_spanner = spanner_ms;
@@ -93,9 +97,11 @@ fn main() {
                 .push("sparsify_speedup", baseline_sparsify / sparsify_ms)
                 .push("spanner_ms", spanner_ms)
                 .push("spanner_speedup", baseline_spanner / spanner_ms)
+                .push("bundle_ms", bundle_ms)
                 .push("work_ops", sparsify_out.stats.total_work() as f64)
                 .push("m_out", sparsify_out.sparsifier.m() as f64)
-                .push("spanner_edges", spanner_out.edge_ids.len() as f64),
+                .push("spanner_edges", spanner_out.edge_ids.len() as f64)
+                .push("bundle_edges", bundle_out.bundle_size as f64),
         );
     }
     print_table(

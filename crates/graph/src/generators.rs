@@ -232,12 +232,15 @@ pub fn preferential_attachment(n: usize, k: usize, w: f64, seed: u64) -> Graph {
         }
     }
     for v in (k + 1)..n {
-        let mut targets = std::collections::HashSet::new();
+        // Deduplicate in draw order: a HashSet here would make the *edge order*
+        // of the graph depend on the process-random hasher state, breaking
+        // cross-process reproducibility of everything keyed on edge ids.
+        let mut targets: Vec<usize> = Vec::with_capacity(k);
         let mut guard = 0;
         while targets.len() < k && guard < 50 * k {
             let t = endpoints[rng.gen_range(0..endpoints.len())];
-            if t != v {
-                targets.insert(t);
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
             }
             guard += 1;
         }

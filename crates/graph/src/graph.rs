@@ -154,6 +154,18 @@ impl Graph {
         id
     }
 
+    /// Builds a graph directly from an already-validated edge list, without per-edge
+    /// checks or copying. Intended for hot paths (samplers, sparsifier output assembly)
+    /// where every edge was derived from an existing valid graph.
+    pub fn from_edges_unchecked(n: usize, edges: Vec<Edge>) -> Graph {
+        debug_assert!(edges.iter().all(|e| e.u < n
+            && e.v < n
+            && e.u != e.v
+            && e.w > 0.0
+            && e.w.is_finite()));
+        Graph { n, edges }
+    }
+
     /// The edge list.
     pub fn edges(&self) -> &[Edge] {
         &self.edges

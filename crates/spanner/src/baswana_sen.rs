@@ -11,8 +11,29 @@
 //! per-vertex decisions inside one round depend only on the previous round's clustering
 //! and on each vertex's own incident edges, so they parallelise trivially — this is the
 //! CRCW PRAM adaptation the paper leans on (Corollary 2), realised here with rayon.
-
-use std::collections::BTreeMap;
+//!
+//! # Engine design (allocation-free hot path)
+//!
+//! The implementation is built for zero per-vertex heap traffic:
+//!
+//! * **Flat CSR incidence** ([`ViewCsr`]): `offsets` + `indices` arrays built once per
+//!   view (counting sort), instead of `Vec<Vec<usize>>`. The t-bundle construction
+//!   *compacts* the arrays in place as edges are peeled into components, so the
+//!   structure is built once per bundle, not once per component.
+//! * **Cluster-stamped scratch** ([`RoundScratch`]): the per-vertex grouping of incident
+//!   edges by neighbouring cluster uses `last_seen`/`best_w`/`best_idx` slots indexed by
+//!   cluster id plus a touched-list for O(degree) cleanup — replacing a per-vertex
+//!   `BTreeMap` allocation. Scratch is threaded through rayon with `map_init`, so each
+//!   worker chunk reuses one instance.
+//! * **Flat decision batches** ([`RoundBatch`]): vertices are processed in fixed-size
+//!   blocks (independent of the thread count) and each block emits compact per-vertex
+//!   records plus shared flat `adds`/`kills` id lists — replacing two `Vec`s per vertex
+//!   per round. Batches are applied sequentially in vertex order, so the parallel and
+//!   sequential paths stay bit-identical.
+//!
+//! The outputs (edge ids, round count, and the `work` counter) are byte-for-byte
+//! identical to the original `BTreeMap`-based implementation; `tests/golden_spanner.rs`
+//! pins that equivalence against pre-rewrite fixtures.
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -88,6 +109,163 @@ impl SpannerResult {
 /// progressively smaller views into the same spanner code without copying graphs.
 pub type EdgeView = (EdgeId, NodeId, NodeId, f64);
 
+/// Sentinel for "no cluster" in the flat center array (`Option<NodeId>` without the
+/// branch/space overhead).
+const NO_CLUSTER: u32 = u32::MAX;
+
+/// Fixed vertex block size for decision batching. Blocks — not threads — are the unit
+/// of work distribution, so the batch boundaries (and therefore the applied decision
+/// order) are a function of `n` only, never of the pool width.
+const VERTEX_BLOCK: usize = 256;
+
+/// Flat CSR incidence over an edge view: `indices[offsets[v]..offsets[v+1]]` are the
+/// view indices of the edges incident to vertex `v`, in ascending order.
+///
+/// Edge indices are `u32`; views are capped at `u32::MAX / 2` edges (the `indices`
+/// array stores every edge twice), which `build` asserts.
+#[derive(Debug, Clone)]
+pub struct ViewCsr {
+    offsets: Vec<u32>,
+    indices: Vec<u32>,
+}
+
+impl ViewCsr {
+    /// Builds the incidence structure with a two-pass counting sort.
+    pub fn build(n: usize, view: &[EdgeView]) -> ViewCsr {
+        assert!(
+            view.len() <= (u32::MAX / 2) as usize,
+            "edge view too large for u32 CSR indices"
+        );
+        let mut offsets = vec![0u32; n + 1];
+        for &(_, u, v, _) in view {
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut indices = vec![0u32; 2 * view.len()];
+        for (idx, &(_, u, v, _)) in view.iter().enumerate() {
+            indices[cursor[u] as usize] = idx as u32;
+            cursor[u] += 1;
+            indices[cursor[v] as usize] = idx as u32;
+            cursor[v] += 1;
+        }
+        ViewCsr { offsets, indices }
+    }
+
+    /// The incident edge indices of `v` (ascending).
+    #[inline]
+    pub fn row(&self, v: NodeId) -> &[u32] {
+        &self.indices[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Removes every edge for which `remap[idx] == u32::MAX` and renumbers the
+    /// survivors, compacting `offsets`/`indices` in place with a single left-to-right
+    /// sweep (the write cursor never passes the read cursor). Per-row ascending order
+    /// is preserved because `remap` is monotone on the survivors.
+    fn compact(&mut self, remap: &[u32]) {
+        let n = self.n();
+        let mut cursor = 0usize;
+        let mut row_start = self.offsets[0] as usize;
+        for v in 0..n {
+            let row_end = self.offsets[v + 1] as usize;
+            self.offsets[v] = cursor as u32;
+            for i in row_start..row_end {
+                let new_idx = remap[self.indices[i] as usize];
+                if new_idx != u32::MAX {
+                    self.indices[cursor] = new_idx;
+                    cursor += 1;
+                }
+            }
+            row_start = row_end;
+        }
+        self.offsets[n] = cursor as u32;
+        self.indices.truncate(cursor);
+    }
+}
+
+/// Per-worker scratch for one clustering/joining pass: cluster-stamped slots plus a
+/// touched-list, giving O(degree) grouping with O(degree) cleanup and zero per-vertex
+/// allocation. One instance per rayon worker chunk via `map_init`.
+struct RoundScratch {
+    /// Stamp of the vertex currently being processed; `last_seen[c] == stamp` marks
+    /// cluster `c`'s slots as live for this vertex.
+    stamp: u32,
+    last_seen: Vec<u32>,
+    best_w: Vec<f64>,
+    best_idx: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl RoundScratch {
+    fn new(n: usize) -> RoundScratch {
+        RoundScratch {
+            stamp: 0,
+            last_seen: vec![0; n],
+            best_w: vec![0.0; n],
+            best_idx: vec![0; n],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Compact per-vertex outcome of one clustering round; the add/kill edge ids live in
+/// the owning [`RoundBatch`]'s flat buffers.
+#[derive(Debug, Clone, Copy)]
+struct VertDecision {
+    v: u32,
+    /// New cluster center, or [`NO_CLUSTER`] when unchanged / leaving the clustering.
+    new_center: u32,
+    became_unclustered: bool,
+    add_len: u32,
+    kill_len: u32,
+}
+
+/// Decisions of one vertex block: per-vertex records plus flat add/kill edge-id lists
+/// (segments in record order), replacing two `Vec`s per vertex per round.
+#[derive(Debug, Default)]
+struct RoundBatch {
+    verts: Vec<VertDecision>,
+    adds: Vec<u32>,
+    kills: Vec<u32>,
+    work: u64,
+}
+
+/// Reusable per-run state; the t-bundle engine keeps one instance alive across
+/// components so the masks and center arrays are allocated once per bundle.
+#[derive(Debug, Default)]
+struct EngineState {
+    center: Vec<u32>,
+    center_next: Vec<u32>,
+    alive: Vec<bool>,
+    in_spanner: Vec<bool>,
+    sampled: Vec<bool>,
+    /// Old-index → new-index map used by [`SpannerEngine::peel_spanner_edges`].
+    remap: Vec<u32>,
+}
+
+impl EngineState {
+    fn reset(&mut self, n: usize, m: usize) {
+        self.center.clear();
+        self.center.extend(0..n as u32);
+        self.center_next.clear();
+        self.center_next.resize(n, NO_CLUSTER);
+        self.alive.clear();
+        self.alive.resize(m, true);
+        self.in_spanner.clear();
+        self.in_spanner.resize(m, false);
+        self.sampled.clear();
+        self.sampled.resize(n, false);
+    }
+}
+
 /// Computes a Baswana–Sen spanner of `g`.
 pub fn baswana_sen_spanner(g: &Graph, cfg: &SpannerConfig) -> SpannerResult {
     let view: Vec<EdgeView> = g
@@ -99,232 +277,385 @@ pub fn baswana_sen_spanner(g: &Graph, cfg: &SpannerConfig) -> SpannerResult {
     baswana_sen_on_view(g.n(), &view, cfg)
 }
 
-/// Per-vertex decision computed within one clustering round.
-#[derive(Debug, Default, Clone)]
-struct Decision {
-    new_center: Option<NodeId>,
-    became_unclustered: bool,
-    add: Vec<usize>,
-    kill: Vec<usize>,
-    work: u64,
-}
-
 /// Computes a Baswana–Sen spanner over an explicit edge view on `n` vertices.
 ///
 /// Returns original edge ids (the first component of each view entry).
 pub fn baswana_sen_on_view(n: usize, view: &[EdgeView], cfg: &SpannerConfig) -> SpannerResult {
+    if let Some(result) = trivial_spanner(n, view, cfg) {
+        return result;
+    }
+    let csr = ViewCsr::build(n, view);
+    let mut state = EngineState::default();
+    run_spanner(n, view, &csr, cfg, &mut state)
+}
+
+/// The trivial cases (stretch-1 spanner / empty input): keep everything.
+fn trivial_spanner(n: usize, view: &[EdgeView], cfg: &SpannerConfig) -> Option<SpannerResult> {
     let m = view.len();
-    let k = cfg
-        .k
-        .unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize)
-        .max(1);
+    let k = resolve_k(n, cfg);
     if n <= 2 || k <= 1 || m == 0 {
-        // Stretch-1 spanner (or trivial graph): keep everything.
         let mut ids: Vec<EdgeId> = view.iter().map(|&(id, _, _, _)| id).collect();
         ids.sort_unstable();
         ids.dedup();
-        return SpannerResult {
+        return Some(SpannerResult {
             edge_ids: ids,
             rounds: 0,
             work: m as u64,
-        };
+        });
     }
+    None
+}
 
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let sample_prob = (n as f64).powf(-1.0 / k as f64);
+fn resolve_k(n: usize, cfg: &SpannerConfig) -> usize {
+    cfg.k
+        .unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize)
+        .max(1)
+}
 
-    // Incidence lists over the view (indices into `view`).
-    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (idx, &(_, u, v, _)) in view.iter().enumerate() {
-        incident[u].push(idx);
-        incident[v].push(idx);
-    }
-
-    let mut center: Vec<Option<NodeId>> = (0..n).map(Some).collect();
-    let mut alive = vec![true; m];
-    let mut in_spanner = vec![false; m];
-    let mut total_work = 0u64;
-    let mut rounds = 0usize;
-
-    for _round in 1..k {
-        rounds += 1;
-        // Sample cluster centers for this round.
-        let sampled: Vec<bool> = (0..n).map(|_| rng.gen::<f64>() < sample_prob).collect();
-
-        let process = |v: NodeId| -> Option<Decision> {
-            let c_v = center[v]?;
-            if sampled[c_v] {
-                // Vertices in sampled clusters carry over unchanged.
-                return None;
-            }
-            let mut dec = Decision {
-                new_center: None,
-                ..Default::default()
-            };
-            // Group alive incident edges by the cluster of the other endpoint. A BTreeMap
-            // keeps the iteration order deterministic, so runs are reproducible across
-            // seeds and across the parallel/sequential code paths.
-            let mut groups: BTreeMap<NodeId, (f64, usize, Vec<usize>)> = BTreeMap::new();
-            for &idx in &incident[v] {
-                dec.work += 1;
-                if !alive[idx] {
-                    continue;
-                }
-                let (_, a, b, w) = view[idx];
-                let other = if a == v { b } else { a };
-                let c_other = match center[other] {
-                    Some(c) => c,
-                    None => continue, // should not happen: unclustered vertices have no alive edges
-                };
-                if c_other == c_v {
-                    continue; // intra-cluster edges are removed lazily below
-                }
-                let entry =
-                    groups
-                        .entry(c_other)
-                        .or_insert((f64::INFINITY, usize::MAX, Vec::new()));
-                if w < entry.0 {
-                    entry.0 = w;
-                    entry.1 = idx;
-                }
-                entry.2.push(idx);
-            }
-            if groups.is_empty() {
-                dec.became_unclustered = true;
-                return Some(dec);
-            }
-            // Lightest edge into a *sampled* adjacent cluster, if any. Ties are broken
-            // by cluster id so the choice is deterministic.
-            let best_sampled = groups.iter().filter(|(c, _)| sampled[**c]).min_by(|a, b| {
-                a.1 .0
-                    .partial_cmp(&b.1 .0)
-                    .unwrap()
-                    .then_with(|| a.0.cmp(b.0))
-            });
-            match best_sampled {
-                None => {
-                    // No sampled neighbor cluster: keep one lightest edge per adjacent
-                    // cluster and discard the rest; v leaves the clustering.
-                    for (_, (_, best_idx, all)) in groups {
-                        dec.add.push(best_idx);
-                        dec.kill.extend(all);
-                    }
-                    dec.became_unclustered = true;
-                }
-                Some((&c_star, &(w_star, best_idx_star, _))) => {
-                    // Join the sampled cluster through its lightest edge.
-                    dec.new_center = Some(c_star);
-                    dec.add.push(best_idx_star);
-                    for (c, (w_c, best_idx, all)) in groups {
-                        if c == c_star {
-                            dec.kill.extend(all);
-                        } else if w_c < w_star {
-                            dec.add.push(best_idx);
-                            dec.kill.extend(all);
-                        }
-                    }
-                }
-            }
-            Some(dec)
-        };
-
-        let mut decisions: Vec<(NodeId, Decision)> = if cfg.parallel {
-            (0..n)
-                .into_par_iter()
-                .filter_map(|v| process(v).map(|d| (v, d)))
-                .collect()
-        } else {
-            (0..n).filter_map(|v| process(v).map(|d| (v, d))).collect()
-        };
-        // Apply in vertex order so the parallel and sequential paths are bit-identical.
-        decisions.sort_by_key(|(v, _)| *v);
-
-        // Apply the decisions sequentially (cheap: proportional to edges touched).
-        let mut new_center = center.clone();
-        for (v, dec) in decisions {
-            total_work += dec.work;
-            for idx in dec.add {
-                in_spanner[idx] = true;
-            }
-            for idx in dec.kill {
-                alive[idx] = false;
-            }
-            if dec.became_unclustered {
-                new_center[v] = None;
-                // Any still-alive incident edge of an unclustered vertex is dead weight;
-                // they were all either added or killed above, but parallel edges from
-                // the same group may linger — kill them defensively.
-                for &idx in &incident[v] {
-                    if alive[idx] && !in_spanner[idx] {
-                        let (_, a, b, _) = view[idx];
-                        let other = if a == v { b } else { a };
-                        if center[other].is_some() {
-                            alive[idx] = false;
-                        }
-                    }
-                }
-            } else if let Some(c) = dec.new_center {
-                new_center[v] = Some(c);
-            }
+/// Computes the clustering-round decisions for one vertex block.
+///
+/// Two passes over each vertex's CSR row: the first accumulates per-neighbour-cluster
+/// `(min weight, first best index)` stats in the stamped scratch slots, the second
+/// emits the add/kill ids into the batch's flat buffers. The `work` counter counts one
+/// examination per incident edge of each decided vertex (first pass only), exactly
+/// matching the historical `BTreeMap` implementation.
+#[allow(clippy::too_many_arguments)]
+fn process_block(
+    block: usize,
+    n: usize,
+    view: &[EdgeView],
+    csr: &ViewCsr,
+    center: &[u32],
+    alive: &[bool],
+    sampled: &[bool],
+    scratch: &mut RoundScratch,
+) -> RoundBatch {
+    let start = block * VERTEX_BLOCK;
+    let end = (start + VERTEX_BLOCK).min(n);
+    let mut batch = RoundBatch::default();
+    for v in start..end {
+        let c_v = center[v];
+        if c_v == NO_CLUSTER || sampled[c_v as usize] {
+            // Unclustered vertices are settled; sampled clusters carry over unchanged.
+            continue;
         }
-        center = new_center;
+        let row = csr.row(v);
+        batch.work += row.len() as u64;
 
-        // Remove intra-cluster edges of the new clustering.
-        for (idx, &(_, u, v, _)) in view.iter().enumerate() {
-            if alive[idx] {
-                total_work += 1;
-                if let (Some(cu), Some(cv)) = (center[u], center[v]) {
-                    if cu == cv {
-                        alive[idx] = false;
-                    }
-                }
-            }
-        }
-    }
-
-    // Phase 2: vertex–cluster joining on the final clustering.
-    rounds += 1;
-    let joining = |v: NodeId| -> Decision {
-        let mut dec = Decision::default();
-        let mut best: BTreeMap<NodeId, (f64, usize)> = BTreeMap::new();
-        for &idx in &incident[v] {
-            dec.work += 1;
+        // Pass 1: group alive inter-cluster edges by the other endpoint's cluster.
+        scratch.stamp += 1;
+        let stamp = scratch.stamp;
+        scratch.touched.clear();
+        for &idx32 in row {
+            let idx = idx32 as usize;
             if !alive[idx] {
                 continue;
             }
             let (_, a, b, w) = view[idx];
             let other = if a == v { b } else { a };
-            if let Some(c_other) = center[other] {
-                if center[v] == Some(c_other) {
-                    continue;
-                }
-                let entry = best.entry(c_other).or_insert((f64::INFINITY, usize::MAX));
-                if w < entry.0 {
-                    *entry = (w, idx);
+            let c_other = center[other];
+            if c_other == NO_CLUSTER || c_other == c_v {
+                // Unclustered neighbours hold no alive edges; intra-cluster edges are
+                // removed lazily by the sweep below.
+                continue;
+            }
+            let c = c_other as usize;
+            if scratch.last_seen[c] != stamp {
+                scratch.last_seen[c] = stamp;
+                scratch.best_w[c] = w;
+                scratch.best_idx[c] = idx32;
+                scratch.touched.push(c_other);
+            } else if w < scratch.best_w[c] {
+                scratch.best_w[c] = w;
+                scratch.best_idx[c] = idx32;
+            }
+        }
+
+        if scratch.touched.is_empty() {
+            batch.verts.push(VertDecision {
+                v: v as u32,
+                new_center: NO_CLUSTER,
+                became_unclustered: true,
+                add_len: 0,
+                kill_len: 0,
+            });
+            continue;
+        }
+
+        // Lightest edge into a *sampled* adjacent cluster, if any. Ties are broken by
+        // cluster id so the choice is deterministic regardless of grouping order.
+        let mut best_sampled: Option<(f64, u32)> = None;
+        for &c in &scratch.touched {
+            if sampled[c as usize] {
+                let w = scratch.best_w[c as usize];
+                let better = match best_sampled {
+                    None => true,
+                    Some((w0, c0)) => w < w0 || (w == w0 && c < c0),
+                };
+                if better {
+                    best_sampled = Some((w, c));
                 }
             }
         }
-        for (_, (_, idx)) in best {
-            dec.add.push(idx);
+
+        // Pass 2: emit add/kill ids into the flat buffers.
+        let adds_before = batch.adds.len();
+        let kills_before = batch.kills.len();
+        let (new_center, became_unclustered) = match best_sampled {
+            None => {
+                // No sampled neighbor cluster: keep one lightest edge per adjacent
+                // cluster and discard the rest; v leaves the clustering.
+                for &idx32 in row {
+                    let idx = idx32 as usize;
+                    if !alive[idx] {
+                        continue;
+                    }
+                    let (_, a, b, _) = view[idx];
+                    let other = if a == v { b } else { a };
+                    let c_other = center[other];
+                    if c_other == NO_CLUSTER || c_other == c_v {
+                        continue;
+                    }
+                    if scratch.best_idx[c_other as usize] == idx32 {
+                        batch.adds.push(idx32);
+                    }
+                    batch.kills.push(idx32);
+                }
+                (NO_CLUSTER, true)
+            }
+            Some((w_star, c_star)) => {
+                // Join the sampled cluster through its lightest edge; also keep the
+                // lightest edge into every strictly lighter neighbour cluster.
+                batch.adds.push(scratch.best_idx[c_star as usize]);
+                for &idx32 in row {
+                    let idx = idx32 as usize;
+                    if !alive[idx] {
+                        continue;
+                    }
+                    let (_, a, b, _) = view[idx];
+                    let other = if a == v { b } else { a };
+                    let c_other = center[other];
+                    if c_other == NO_CLUSTER || c_other == c_v {
+                        continue;
+                    }
+                    if c_other == c_star {
+                        batch.kills.push(idx32);
+                    } else if scratch.best_w[c_other as usize] < w_star {
+                        if scratch.best_idx[c_other as usize] == idx32 {
+                            batch.adds.push(idx32);
+                        }
+                        batch.kills.push(idx32);
+                    }
+                }
+                (c_star, false)
+            }
+        };
+        batch.verts.push(VertDecision {
+            v: v as u32,
+            new_center,
+            became_unclustered,
+            add_len: (batch.adds.len() - adds_before) as u32,
+            kill_len: (batch.kills.len() - kills_before) as u32,
+        });
+    }
+    batch
+}
+
+/// Computes the joining-phase adds for one vertex block: the lightest alive edge into
+/// every adjacent foreign cluster (add-only, so no per-vertex records are needed).
+fn join_block(
+    block: usize,
+    n: usize,
+    view: &[EdgeView],
+    csr: &ViewCsr,
+    center: &[u32],
+    alive: &[bool],
+    scratch: &mut RoundScratch,
+) -> RoundBatch {
+    let start = block * VERTEX_BLOCK;
+    let end = (start + VERTEX_BLOCK).min(n);
+    let mut batch = RoundBatch::default();
+    for v in start..end {
+        let row = csr.row(v);
+        batch.work += row.len() as u64;
+        scratch.stamp += 1;
+        let stamp = scratch.stamp;
+        scratch.touched.clear();
+        let c_v = center[v];
+        for &idx32 in row {
+            let idx = idx32 as usize;
+            if !alive[idx] {
+                continue;
+            }
+            let (_, a, b, w) = view[idx];
+            let other = if a == v { b } else { a };
+            let c_other = center[other];
+            if c_other == NO_CLUSTER || c_other == c_v {
+                continue;
+            }
+            let c = c_other as usize;
+            if scratch.last_seen[c] != stamp {
+                scratch.last_seen[c] = stamp;
+                scratch.best_w[c] = w;
+                scratch.best_idx[c] = idx32;
+                scratch.touched.push(c_other);
+            } else if w < scratch.best_w[c] {
+                scratch.best_w[c] = w;
+                scratch.best_idx[c] = idx32;
+            }
         }
-        dec
-    };
-    let final_decisions: Vec<Decision> = if cfg.parallel {
-        (0..n).into_par_iter().map(joining).collect()
+        for &c in &scratch.touched {
+            batch.adds.push(scratch.best_idx[c as usize]);
+        }
+    }
+    batch
+}
+
+/// Runs the full construction over a prepared CSR view. `state` buffers are reset here
+/// and may be reused across calls (the t-bundle engine does).
+fn run_spanner(
+    n: usize,
+    view: &[EdgeView],
+    csr: &ViewCsr,
+    cfg: &SpannerConfig,
+    state: &mut EngineState,
+) -> SpannerResult {
+    let m = view.len();
+    let k = resolve_k(n, cfg);
+    debug_assert!(n > 2 && k > 1 && m > 0, "trivial cases handled by caller");
+    state.reset(n, m);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let sample_prob = (n as f64).powf(-1.0 / k as f64);
+    let n_blocks = n.div_ceil(VERTEX_BLOCK);
+    let mut total_work = 0u64;
+    let mut rounds = 0usize;
+
+    for _round in 1..k {
+        rounds += 1;
+        // Sample cluster centers for this round (the only RNG consumer: n draws per
+        // round, a stream pinned by the golden fixtures).
+        for s in state.sampled.iter_mut() {
+            *s = rng.gen::<f64>() < sample_prob;
+        }
+
+        let (center, alive, sampled) = (&state.center, &state.alive, &state.sampled);
+        let batches: Vec<RoundBatch> = if cfg.parallel {
+            (0..n_blocks)
+                .into_par_iter()
+                .map_init(
+                    || RoundScratch::new(n),
+                    |scratch, b| process_block(b, n, view, csr, center, alive, sampled, scratch),
+                )
+                .collect()
+        } else {
+            let mut scratch = RoundScratch::new(n);
+            (0..n_blocks)
+                .map(|b| process_block(b, n, view, csr, center, alive, sampled, &mut scratch))
+                .collect()
+        };
+
+        // Apply the decisions sequentially in vertex order (batches are emitted in
+        // block = vertex order), so the parallel and sequential paths are
+        // bit-identical. Cost: proportional to edges touched.
+        state.center_next.copy_from_slice(&state.center);
+        for batch in &batches {
+            total_work += batch.work;
+            let mut adds_pos = 0usize;
+            let mut kills_pos = 0usize;
+            for dec in &batch.verts {
+                for &idx in &batch.adds[adds_pos..adds_pos + dec.add_len as usize] {
+                    state.in_spanner[idx as usize] = true;
+                }
+                adds_pos += dec.add_len as usize;
+                for &idx in &batch.kills[kills_pos..kills_pos + dec.kill_len as usize] {
+                    state.alive[idx as usize] = false;
+                }
+                kills_pos += dec.kill_len as usize;
+                let v = dec.v as usize;
+                if dec.became_unclustered {
+                    state.center_next[v] = NO_CLUSTER;
+                    // Any still-alive incident edge of an unclustered vertex is dead
+                    // weight; they were all either added or killed above, but parallel
+                    // edges from the same group may linger — kill them defensively.
+                    for &idx32 in csr.row(v) {
+                        let idx = idx32 as usize;
+                        if state.alive[idx] && !state.in_spanner[idx] {
+                            let (_, a, b, _) = view[idx];
+                            let other = if a == v { b } else { a };
+                            if state.center[other] != NO_CLUSTER {
+                                state.alive[idx] = false;
+                            }
+                        }
+                    }
+                } else if dec.new_center != NO_CLUSTER {
+                    state.center_next[v] = dec.new_center;
+                }
+            }
+        }
+        std::mem::swap(&mut state.center, &mut state.center_next);
+
+        // Remove intra-cluster edges of the new clustering. The per-edge flag writes
+        // commute, so this sweep runs in parallel; the u64 work tally is combined in
+        // chunk order and stays deterministic.
+        let center = &state.center;
+        let sweep = |(a, &(_, u, v, _)): (&mut bool, &EdgeView)| -> u64 {
+            if *a {
+                let cu = center[u];
+                if cu != NO_CLUSTER && cu == center[v] {
+                    *a = false;
+                }
+                1
+            } else {
+                0
+            }
+        };
+        total_work += if cfg.parallel {
+            state
+                .alive
+                .par_iter_mut()
+                .zip(view.par_iter())
+                .map(sweep)
+                .sum::<u64>()
+        } else {
+            state.alive.iter_mut().zip(view.iter()).map(sweep).sum()
+        };
+    }
+
+    // Phase 2: vertex–cluster joining on the final clustering.
+    rounds += 1;
+    let (center, alive) = (&state.center, &state.alive);
+    let join_batches: Vec<RoundBatch> = if cfg.parallel {
+        (0..n_blocks)
+            .into_par_iter()
+            .map_init(
+                || RoundScratch::new(n),
+                |scratch, b| join_block(b, n, view, csr, center, alive, scratch),
+            )
+            .collect()
     } else {
-        (0..n).map(joining).collect()
+        let mut scratch = RoundScratch::new(n);
+        (0..n_blocks)
+            .map(|b| join_block(b, n, view, csr, center, alive, &mut scratch))
+            .collect()
     };
-    for dec in final_decisions {
-        total_work += dec.work;
-        for idx in dec.add {
-            in_spanner[idx] = true;
+    for batch in &join_batches {
+        total_work += batch.work;
+        for &idx in &batch.adds {
+            state.in_spanner[idx as usize] = true;
         }
     }
 
     let mut edge_ids: Vec<EdgeId> = view
         .iter()
         .enumerate()
-        .filter_map(|(idx, &(id, _, _, _))| if in_spanner[idx] { Some(id) } else { None })
+        .filter_map(|(idx, &(id, _, _, _))| {
+            if state.in_spanner[idx] {
+                Some(id)
+            } else {
+                None
+            }
+        })
         .collect();
     edge_ids.sort_unstable();
     edge_ids.dedup();
@@ -332,6 +663,97 @@ pub fn baswana_sen_on_view(n: usize, view: &[EdgeView], cfg: &SpannerConfig) -> 
         edge_ids,
         rounds,
         work: total_work,
+    }
+}
+
+/// A reusable spanner engine over a shrinking edge view.
+///
+/// The t-bundle construction peels `t` spanners off the same graph; this engine builds
+/// the flat CSR incidence **once** and compacts it (and the view) in place after each
+/// component, instead of rebuilding `remaining` + incidence per component. The
+/// per-run masks and center arrays are owned by the engine and reused across runs.
+#[derive(Debug)]
+pub struct SpannerEngine {
+    n: usize,
+    view: Vec<EdgeView>,
+    csr: ViewCsr,
+    state: EngineState,
+}
+
+impl SpannerEngine {
+    /// Builds an engine over an explicit view.
+    pub fn new(n: usize, view: Vec<EdgeView>) -> SpannerEngine {
+        let csr = ViewCsr::build(n, &view);
+        SpannerEngine {
+            n,
+            view,
+            csr,
+            state: EngineState::default(),
+        }
+    }
+
+    /// Builds an engine over all edges of `g` (view ids = graph edge ids).
+    pub fn from_graph(g: &Graph) -> SpannerEngine {
+        let view: Vec<EdgeView> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(id, e)| (id, e.u, e.v, e.w))
+            .collect();
+        SpannerEngine::new(g.n(), view)
+    }
+
+    /// Number of edges currently in the view.
+    pub fn m(&self) -> usize {
+        self.view.len()
+    }
+
+    /// True when no edges remain.
+    pub fn is_empty(&self) -> bool {
+        self.view.is_empty()
+    }
+
+    /// The current edge view (ids are original input ids).
+    pub fn view(&self) -> &[EdgeView] {
+        &self.view
+    }
+
+    /// Runs one Baswana–Sen construction over the current view.
+    pub fn spanner(&mut self, cfg: &SpannerConfig) -> SpannerResult {
+        if let Some(result) = trivial_spanner(self.n, &self.view, cfg) {
+            // Mark everything in-spanner so `peel_spanner_edges` drains the view.
+            self.state.in_spanner.clear();
+            self.state.in_spanner.resize(self.view.len(), true);
+            return result;
+        }
+        run_spanner(self.n, &self.view, &self.csr, cfg, &mut self.state)
+    }
+
+    /// Removes the edges selected by the most recent [`SpannerEngine::spanner`] call
+    /// from the view, compacting the view and the CSR incidence in place.
+    pub fn peel_spanner_edges(&mut self) {
+        let m = self.view.len();
+        debug_assert_eq!(self.state.in_spanner.len(), m, "peel before any run");
+        let remap = &mut self.state.remap;
+        remap.clear();
+        remap.resize(m, u32::MAX);
+        let mut kept = 0u32;
+        for (slot, &taken) in remap.iter_mut().zip(&self.state.in_spanner) {
+            if !taken {
+                *slot = kept;
+                kept += 1;
+            }
+        }
+        // Compact the view in place (retain preserves order, matching a rebuild).
+        let in_spanner = &self.state.in_spanner;
+        let mut idx = 0usize;
+        self.view.retain(|_| {
+            let keep = !in_spanner[idx];
+            idx += 1;
+            keep
+        });
+        self.csr.compact(remap);
+        debug_assert_eq!(self.view.len(), kept as usize);
     }
 }
 
@@ -472,5 +894,86 @@ mod tests {
         assert_ne!(labels[0], labels[20]);
         let s = stretch::max_stretch(&g, &h);
         assert!(s <= 2.0 * (40f64).log2().ceil() + 1.0);
+    }
+
+    #[test]
+    fn csr_build_matches_nested_incidence() {
+        let g = generators::erdos_renyi(60, 0.2, 1.0, 3);
+        let view: Vec<EdgeView> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(id, e)| (id, e.u, e.v, e.w))
+            .collect();
+        let csr = ViewCsr::build(g.n(), &view);
+        let mut nested: Vec<Vec<u32>> = vec![Vec::new(); g.n()];
+        for (idx, &(_, u, v, _)) in view.iter().enumerate() {
+            nested[u].push(idx as u32);
+            nested[v].push(idx as u32);
+        }
+        assert_eq!(csr.n(), g.n());
+        for (v, row) in nested.iter().enumerate() {
+            assert_eq!(csr.row(v), row.as_slice(), "row {v}");
+        }
+    }
+
+    #[test]
+    fn csr_compact_equals_rebuild_from_compacted_view() {
+        let g = generators::erdos_renyi(80, 0.25, 1.0, 9);
+        let view: Vec<EdgeView> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(id, e)| (id, e.u, e.v, e.w))
+            .collect();
+        let mut csr = ViewCsr::build(g.n(), &view);
+        // Kill every third edge, remap the survivors.
+        let mut remap = vec![u32::MAX; view.len()];
+        let mut kept_view = Vec::new();
+        let mut kept = 0u32;
+        for (idx, &e) in view.iter().enumerate() {
+            if idx % 3 != 0 {
+                remap[idx] = kept;
+                kept += 1;
+                kept_view.push(e);
+            }
+        }
+        csr.compact(&remap);
+        let rebuilt = ViewCsr::build(g.n(), &kept_view);
+        assert_eq!(csr.offsets, rebuilt.offsets);
+        assert_eq!(csr.indices, rebuilt.indices);
+    }
+
+    #[test]
+    fn engine_peel_matches_fresh_view_runs() {
+        // Peeling two components through the engine must equal running the old-style
+        // "rebuild the remaining view" loop by hand.
+        let g = generators::erdos_renyi(120, 0.3, 1.0, 17);
+        let cfg = SpannerConfig::with_seed(33);
+        let mut engine = SpannerEngine::from_graph(&g);
+        let first = engine.spanner(&cfg);
+        engine.peel_spanner_edges();
+        let second = engine.spanner(&cfg);
+
+        let view: Vec<EdgeView> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(id, e)| (id, e.u, e.v, e.w))
+            .collect();
+        let first_ref = baswana_sen_on_view(g.n(), &view, &cfg);
+        assert_eq!(first.edge_ids, first_ref.edge_ids);
+        let in_first: std::collections::HashSet<usize> =
+            first_ref.edge_ids.iter().copied().collect();
+        let remaining: Vec<EdgeView> = view
+            .iter()
+            .filter(|&&(id, _, _, _)| !in_first.contains(&id))
+            .copied()
+            .collect();
+        let second_ref = baswana_sen_on_view(g.n(), &remaining, &cfg);
+        assert_eq!(second.edge_ids, second_ref.edge_ids);
+        assert_eq!(engine.m(), remaining.len());
+        engine.peel_spanner_edges();
+        assert_eq!(engine.m(), remaining.len() - second_ref.edge_ids.len());
     }
 }

@@ -9,12 +9,15 @@
 //! The construction below peels spanners iteratively (Section 3.1): edges already placed
 //! in earlier components simply "declare themselves out" of later iterations, which is
 //! why the construction parallelises/distributes as easily as a single spanner.
-
-use rayon::prelude::*;
+//!
+//! Implementation-wise the peeling runs on a [`SpannerEngine`]: the flat CSR incidence
+//! over the edge view is built **once** per bundle and compacted in place after each
+//! component, instead of re-collecting the remaining edges and rebuilding a
+//! `Vec<Vec<usize>>` incidence structure `t` times.
 
 use sgs_graph::{EdgeId, Graph};
 
-use crate::baswana_sen::{baswana_sen_on_view, EdgeView, SpannerConfig, SpannerResult};
+use crate::baswana_sen::{SpannerConfig, SpannerEngine, SpannerResult};
 
 /// Configuration for the t-bundle construction.
 #[derive(Debug, Clone)]
@@ -66,23 +69,27 @@ pub struct BundleResult {
 impl BundleResult {
     /// The bundle `H = Σ H_i` as a graph on the same vertex set.
     pub fn bundle_graph(&self, g: &Graph) -> Graph {
-        let ids: Vec<EdgeId> = self
-            .in_bundle
-            .iter()
-            .enumerate()
-            .filter_map(|(id, &inb)| if inb { Some(id) } else { None })
-            .collect();
+        let mut ids: Vec<EdgeId> = Vec::with_capacity(self.bundle_size);
+        ids.extend(
+            self.in_bundle
+                .iter()
+                .enumerate()
+                .filter_map(|(id, &inb)| if inb { Some(id) } else { None }),
+        );
         g.with_edge_ids(&ids)
     }
 
     /// Ids of the edges of `g` that are *not* in the bundle (the uniformly sampled set
     /// of Algorithm 1).
     pub fn off_bundle_ids(&self) -> Vec<EdgeId> {
-        self.in_bundle
-            .iter()
-            .enumerate()
-            .filter_map(|(id, &inb)| if inb { None } else { Some(id) })
-            .collect()
+        let mut ids: Vec<EdgeId> = Vec::with_capacity(self.off_bundle_count());
+        ids.extend(
+            self.in_bundle
+                .iter()
+                .enumerate()
+                .filter_map(|(id, &inb)| if inb { None } else { Some(id) }),
+        );
+        ids
     }
 
     /// Number of edges outside the bundle.
@@ -103,16 +110,12 @@ pub fn t_bundle(g: &Graph, cfg: &BundleConfig) -> BundleResult {
     let mut components = Vec::with_capacity(cfg.t);
     let mut work = 0u64;
 
-    // The remaining-edge view shrinks as components are peeled off.
-    let mut remaining: Vec<EdgeView> = g
-        .edges()
-        .iter()
-        .enumerate()
-        .map(|(id, e)| (id, e.u, e.v, e.w))
-        .collect();
+    // One engine for the whole bundle: the CSR incidence is compacted in place as
+    // components are peeled off, never rebuilt.
+    let mut engine = SpannerEngine::from_graph(g);
 
     for i in 0..cfg.t {
-        if remaining.is_empty() {
+        if engine.is_empty() {
             break;
         }
         let mut spanner_cfg = cfg.spanner.clone();
@@ -122,16 +125,13 @@ pub fn t_bundle(g: &Graph, cfg: &BundleConfig) -> BundleResult {
             .wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
         let SpannerResult {
             edge_ids, work: w, ..
-        } = baswana_sen_on_view(g.n(), &remaining, &spanner_cfg);
+        } = engine.spanner(&spanner_cfg);
         work += w;
         for &id in &edge_ids {
             in_bundle[id] = true;
         }
-        // Drop the edges that entered this component from the remaining view.
-        remaining = remaining
-            .into_par_iter()
-            .filter(|&(id, _, _, _)| !in_bundle[id])
-            .collect();
+        // Drop the edges that entered this component from the engine's view.
+        engine.peel_spanner_edges();
         components.push(edge_ids);
     }
 
@@ -249,5 +249,33 @@ mod tests {
         let a = t_bundle(&g, &BundleConfig::new(3).with_seed(42));
         let b = t_bundle(&g, &BundleConfig::new(3).with_seed(42));
         assert_eq!(a.in_bundle, b.in_bundle);
+    }
+
+    #[test]
+    fn bundle_size_and_off_bundle_count_are_consistent() {
+        // Direct consistency check of the preallocated accessors: sizes reported by
+        // `bundle_size`, `off_bundle_count`, `off_bundle_ids` and the mask must agree,
+        // and the two id lists must partition 0..m.
+        for (t, seed) in [(1usize, 5u64), (3, 5), (4, 77)] {
+            let g = generators::erdos_renyi(90, 0.3, 1.0, 13);
+            let b = t_bundle(&g, &BundleConfig::new(t).with_seed(seed));
+            let mask_count = b.in_bundle.iter().filter(|&&x| x).count();
+            assert_eq!(b.bundle_size, mask_count);
+            assert_eq!(b.off_bundle_count(), g.m() - mask_count);
+            let off = b.off_bundle_ids();
+            assert_eq!(off.len(), b.off_bundle_count());
+            // `with_capacity` guarantees *at least* the request; growth past it would
+            // mean the up-front sizing was wrong.
+            assert!(
+                off.capacity() >= b.off_bundle_count(),
+                "undersized prealloc"
+            );
+            let bg = b.bundle_graph(&g);
+            assert_eq!(bg.m(), b.bundle_size);
+            let mut all: Vec<usize> = off;
+            all.extend((0..g.m()).filter(|&id| b.in_bundle[id]));
+            all.sort_unstable();
+            assert_eq!(all, (0..g.m()).collect::<Vec<_>>());
+        }
     }
 }

@@ -24,7 +24,9 @@ pub mod baswana_sen;
 pub mod bundle;
 pub mod greedy;
 
-pub use baswana_sen::{baswana_sen_spanner, SpannerConfig, SpannerResult};
+pub use baswana_sen::{
+    baswana_sen_on_view, baswana_sen_spanner, SpannerConfig, SpannerEngine, SpannerResult,
+};
 pub use bundle::{t_bundle, BundleConfig, BundleResult};
 pub use greedy::greedy_spanner;
 

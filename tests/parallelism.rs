@@ -9,7 +9,7 @@
 
 use spectral_sparsify::graph::{generators, stretch};
 use spectral_sparsify::linalg::{approx_effective_resistances, CsrMatrix};
-use spectral_sparsify::spanner::{baswana_sen_spanner, SpannerConfig};
+use spectral_sparsify::spanner::{baswana_sen_spanner, t_bundle, BundleConfig, SpannerConfig};
 use spectral_sparsify::sparsify::{
     parallel_sample, parallel_sparsify, BundleSizing, SparsifyConfig,
 };
@@ -55,6 +55,21 @@ fn spanner_is_identical_across_thread_counts() {
     let s4 = on_pool(4, || baswana_sen_spanner(&g, &cfg));
     assert_eq!(s1.edge_ids, s4.edge_ids);
     assert_eq!(s1.work, s4.work);
+}
+
+#[test]
+fn t_bundle_is_identical_across_thread_counts() {
+    // Pins the scratch-based engine itself (not just the full sparsifier): the
+    // `map_init` per-worker scratch and the in-place CSR compaction must never make
+    // the bundle depend on how blocks were distributed over threads.
+    let g = generators::erdos_renyi(350, 0.15, 1.0, 27);
+    let cfg = BundleConfig::new(3).with_seed(19);
+    let b1 = on_pool(1, || t_bundle(&g, &cfg));
+    let b4 = on_pool(4, || t_bundle(&g, &cfg));
+    assert_eq!(b1.components, b4.components);
+    assert_eq!(b1.in_bundle, b4.in_bundle);
+    assert_eq!(b1.bundle_size, b4.bundle_size);
+    assert_eq!(b1.work, b4.work);
 }
 
 #[test]
