@@ -1,0 +1,45 @@
+//! Criterion bench for the distributed (CONGEST) engine: the simulator's flat-mailbox
+//! round loop, the distributed Baswana–Sen spanner (Theorem 2), and distributed
+//! `PARALLELSAMPLE` (Corollary 3) as the bundle parameter grows.
+//!
+//! Wall-clock here tracks the *simulator engine*, not the model cost — the model cost
+//! is the rounds/messages/bits accounting, which `exp_distributed` and the
+//! `exp_scaling --distributed` columns report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgs_bench::Workload;
+use sgs_core::{BundleSizing, SparsifyConfig};
+use sgs_distributed::{distributed_sample, distributed_spanner, DistSpannerConfig};
+
+fn bench_distributed_spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributed/spanner");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 2000] {
+        let g = Workload::ErdosRenyi { n, deg: 16 }.build(9);
+        group.bench_with_input(BenchmarkId::new("n", n), &g, |b, g| {
+            b.iter(|| distributed_spanner(g, &DistSpannerConfig::with_seed(3)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_distributed_sample(c: &mut Criterion) {
+    // The sparsifier hot path: t successive spanner runs on residual edges plus the
+    // (communication-free) local sampling step.
+    let mut group = c.benchmark_group("distributed/sample");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 1000, deg: 40 }.build(11);
+    for t in [1usize, 2, 4] {
+        let cfg = SparsifyConfig::new(0.5, 2.0)
+            .with_bundle_sizing(BundleSizing::Fixed(t))
+            .with_seed(13);
+        group.bench_with_input(BenchmarkId::new("t", t), &cfg, |b, cfg| {
+            b.iter(|| distributed_sample(&g, 0.5, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed_spanner, bench_distributed_sample);
+criterion_main!(benches);

@@ -10,6 +10,10 @@
 //! * `--n N` / `--deg D` — workload size: Erdős–Rényi with `N` vertices and expected
 //!   average degree `D` (defaults 4000 / 150, ≈300k edges).
 //! * `--threads 1,2,4` — comma-separated pool widths to sweep (default `1,2,4,8,16`).
+//! * `--distributed` — also run the distributed (CONGEST) pipeline per thread count and
+//!   append `dist_sample_ms` / `dist_spanner_ms` wall-clock plus the communication
+//!   columns `dist_rounds` / `dist_messages` / `dist_bits` (which must be identical
+//!   across rows: the simulator's accounting is deterministic per seed).
 //! * `--json` — append the rows as JSON to stdout (as in every experiment binary).
 //! * `--json-out PATH` — write the rows as a JSON file (for CI artifacts).
 //! * `--bench-json PATH` — write a `BENCH_*.json` perf snapshot (graph size, host
@@ -26,6 +30,7 @@
 use serde::Serialize;
 use sgs_bench::{print_table, time_ms, Row, Workload};
 use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
+use sgs_distributed::{distributed_sample, distributed_spanner, DistSpannerConfig};
 use sgs_spanner::{baswana_sen_spanner, t_bundle, BundleConfig, SpannerConfig};
 
 /// Repo-root perf snapshot: one record per thread count on one fixed workload.
@@ -60,6 +65,7 @@ fn main() {
                 .collect()
         })
         .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
+    let distributed = args.iter().any(|a| a == "--distributed");
 
     let workload = Workload::ErdosRenyi { n, deg };
     let g = workload.build(51);
@@ -90,19 +96,38 @@ fn main() {
             baseline_sparsify = sparsify_ms;
             baseline_spanner = spanner_ms;
         }
-        rows.push(
-            Row::new(format!("threads = {threads}"))
-                .push("threads", threads as f64)
-                .push("sparsify_ms", sparsify_ms)
-                .push("sparsify_speedup", baseline_sparsify / sparsify_ms)
-                .push("spanner_ms", spanner_ms)
-                .push("spanner_speedup", baseline_spanner / spanner_ms)
-                .push("bundle_ms", bundle_ms)
-                .push("work_ops", sparsify_out.stats.total_work() as f64)
-                .push("m_out", sparsify_out.sparsifier.m() as f64)
-                .push("spanner_edges", spanner_out.edge_ids.len() as f64)
-                .push("bundle_edges", bundle_out.bundle_size as f64),
-        );
+        let mut row = Row::new(format!("threads = {threads}"))
+            .push("threads", threads as f64)
+            .push("sparsify_ms", sparsify_ms)
+            .push("sparsify_speedup", baseline_sparsify / sparsify_ms)
+            .push("spanner_ms", spanner_ms)
+            .push("spanner_speedup", baseline_spanner / spanner_ms)
+            .push("bundle_ms", bundle_ms)
+            .push("work_ops", sparsify_out.stats.total_work() as f64)
+            .push("m_out", sparsify_out.sparsifier.m() as f64)
+            .push("spanner_edges", spanner_out.edge_ids.len() as f64)
+            .push("bundle_edges", bundle_out.bundle_size as f64);
+        if distributed {
+            // Same workload through the CONGEST simulator: the wall clock tracks the
+            // engine, the rounds/messages/bits columns track Theorem 2 / Corollary 3
+            // accounting (deterministic per seed, so identical across thread rows).
+            let dist_cfg = SparsifyConfig::new(0.75, 4.0)
+                .with_bundle_sizing(BundleSizing::Fixed(2))
+                .with_seed(5);
+            let (dist_out, dist_sample_ms) =
+                pool.install(|| time_ms(|| distributed_sample(&g, 0.75, &dist_cfg)));
+            let (dist_sp, dist_spanner_ms) = pool
+                .install(|| time_ms(|| distributed_spanner(&g, &DistSpannerConfig::with_seed(3))));
+            row = row
+                .push("dist_sample_ms", dist_sample_ms)
+                .push("dist_spanner_ms", dist_spanner_ms)
+                .push("dist_rounds", dist_out.metrics.rounds as f64)
+                .push("dist_messages", dist_out.metrics.messages as f64)
+                .push("dist_bits", dist_out.metrics.total_bits as f64)
+                .push("dist_m_out", dist_out.sparsifier.m() as f64)
+                .push("dist_spanner_edges", dist_sp.edge_ids.len() as f64);
+        }
+        rows.push(row);
     }
     print_table(
         "E6: parallel scalability — wall clock vs threads at fixed work (CRCW PRAM substitute)",

@@ -12,8 +12,9 @@
 //! communication discipline and *counts* rounds, messages and bits. That is what
 //! [`network::SyncNetwork`] provides.
 //!
-//! * [`network`] — the simulator: per-edge mailboxes, lock-step round execution, and
-//!   [`network::NetworkMetrics`] accounting.
+//! * [`network`] — the simulator: flat CSR mailboxes, lock-step round execution with a
+//!   rayon-parallel vertex-program step API ([`network::SyncNetwork::par_step`]), and
+//!   [`network::NetworkMetrics`] accounting (counted at delivery).
 //! * [`spanner`] — the distributed Baswana–Sen spanner (Theorem 2): cluster sampling is
 //!   propagated along cluster trees, so an iteration with cluster radius `i` takes
 //!   `O(i)` rounds and the whole construction `O(log² n)` rounds with `O(m log n)`

@@ -6,10 +6,31 @@
 //! enforces that messages travel only along edges of the communication graph and keeps
 //! a full account of rounds, messages, and message sizes in bits, which are exactly the
 //! quantities bounded by Theorem 2 and Corollary 3.
+//!
+//! # Engine design (allocation-free hot path)
+//!
+//! The mailboxes are flat CSR buffers, not `Vec<Vec>` queues:
+//!
+//! * **Staging**: every send appends one `(from, to, msg)` record to a single reusable
+//!   buffer; no per-vertex queue is touched.
+//! * **Delivery** ([`SyncNetwork::advance_round`]): one stable counting sort by
+//!   recipient turns the staged buffer into the next round's inbox CSR — per-vertex
+//!   offset ranges over one flat message array. Communication metrics are counted
+//!   here, *at delivery*: a message staged but never advanced is a protocol bug, not
+//!   traffic, and [`SyncNetwork::metrics`] debug-asserts that nothing is left staged.
+//! * **Topology**: the neighbor check behind [`SyncNetwork::send`] is a binary search
+//!   in a sorted flat adjacency (CSR of neighbor ids), replacing per-vertex hash sets.
+//! * **Vertex programs** ([`SyncNetwork::par_step`]): one round of per-vertex execution
+//!   runs under rayon in fixed 256-vertex blocks. Each block stages its emissions into
+//!   a private buffer and the buffers are concatenated in block order, so the staged
+//!   stream is in sender order regardless of the worker interleaving — and because the
+//!   delivery sort is stable, every inbox comes out sorted by `(recipient, sender)`.
+//!   Fixed-seed protocol runs are therefore bitwise identical across thread counts,
+//!   the same guarantee the shared-memory engine gives (`tests/parallelism.rs`).
 
-use std::collections::HashMap;
+use rayon::prelude::*;
 
-use sgs_graph::{Adjacency, Graph, NodeId};
+use sgs_graph::{Graph, NodeId};
 
 /// Something that can report its own size in bits, for communication accounting.
 ///
@@ -44,43 +65,73 @@ impl NetworkMetrics {
     }
 }
 
+/// Fixed vertex block size for [`SyncNetwork::par_step`]. Blocks — not threads — are
+/// the unit of work distribution, so the staged message order is a function of `n`
+/// only, never of the pool width (the shared-memory engine uses the same constant).
+const VERTEX_BLOCK: usize = 256;
+
+/// An inbox entry: the sender and the message.
+pub type Envelope<M> = (NodeId, M);
+
+/// A staged message record: `(from, to, msg)`.
+type Staged<M> = (u32, u32, M);
+
 /// A synchronous network over the vertices of a graph.
 ///
 /// `M` is the message type. Vertices address each other by [`NodeId`]; sending to a
 /// non-neighbor panics, which keeps algorithm implementations honest about the model.
 #[derive(Debug)]
 pub struct SyncNetwork<M> {
-    adjacency: Adjacency,
     n: usize,
-    /// Outboxes for the current round, keyed by recipient.
-    outboxes: Vec<Vec<(NodeId, M)>>,
-    /// Inboxes delivered at the start of the current round.
-    inboxes: Vec<Vec<(NodeId, M)>>,
-    /// Fast neighbor lookup for the send-only-to-neighbors check.
-    neighbor_sets: Vec<HashMap<NodeId, ()>>,
+    /// Sorted flat adjacency: the neighbors of `v` are
+    /// `nbr_ids[nbr_offsets[v]..nbr_offsets[v + 1]]`, ascending.
+    nbr_offsets: Vec<u32>,
+    nbr_ids: Vec<u32>,
+    /// Messages staged for the next delivery, in emission order: `(from, to, msg)`.
+    staged: Vec<Staged<M>>,
+    /// Current round's inbox CSR: the inbox of `v` is
+    /// `inbox_buf[inbox_offsets[v]..inbox_offsets[v + 1]]`, sorted by sender whenever
+    /// the staging order was sender-ordered (always true for `par_step` rounds).
+    inbox_offsets: Vec<u32>,
+    inbox_buf: Vec<Envelope<M>>,
+    /// Delivery scratch: per-recipient write cursors and the sort permutation.
+    cursor: Vec<u32>,
+    perm: Vec<u32>,
     metrics: NetworkMetrics,
 }
 
 impl<M: MessageSize + Clone> SyncNetwork<M> {
     /// Builds a network whose topology is the given graph.
     pub fn new(g: &Graph) -> Self {
-        let adjacency = g.adjacency();
         let n = g.n();
-        let neighbor_sets = (0..n)
-            .map(|v| {
-                adjacency
-                    .neighbors(v)
-                    .iter()
-                    .map(|nb| (nb.node, ()))
-                    .collect::<HashMap<_, _>>()
-            })
-            .collect();
+        let mut nbr_offsets = vec![0u32; n + 1];
+        for e in g.edges() {
+            nbr_offsets[e.u + 1] += 1;
+            nbr_offsets[e.v + 1] += 1;
+        }
+        for v in 0..n {
+            nbr_offsets[v + 1] += nbr_offsets[v];
+        }
+        let mut cursor: Vec<u32> = nbr_offsets.clone();
+        let mut nbr_ids = vec![0u32; 2 * g.m()];
+        for e in g.edges() {
+            nbr_ids[cursor[e.u] as usize] = e.v as u32;
+            cursor[e.u] += 1;
+            nbr_ids[cursor[e.v] as usize] = e.u as u32;
+            cursor[e.v] += 1;
+        }
+        for v in 0..n {
+            nbr_ids[nbr_offsets[v] as usize..nbr_offsets[v + 1] as usize].sort_unstable();
+        }
         SyncNetwork {
-            adjacency,
             n,
-            outboxes: vec![Vec::new(); n],
-            inboxes: vec![Vec::new(); n],
-            neighbor_sets,
+            nbr_offsets,
+            nbr_ids,
+            staged: Vec::new(),
+            inbox_offsets: vec![0; n + 1],
+            inbox_buf: Vec::new(),
+            cursor,
+            perm: Vec::new(),
             metrics: NetworkMetrics::default(),
         }
     }
@@ -90,9 +141,10 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
         self.n
     }
 
-    /// The adjacency view of the communication topology.
-    pub fn adjacency(&self) -> &Adjacency {
-        &self.adjacency
+    /// The neighbors of `v` in the communication topology, ascending.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        &self.nbr_ids[self.nbr_offsets[v] as usize..self.nbr_offsets[v + 1] as usize]
     }
 
     /// Queues a message from `from` to its neighbor `to` for delivery next round.
@@ -101,50 +153,179 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
     /// communication along edges.
     pub fn send(&mut self, from: NodeId, to: NodeId, msg: M) {
         assert!(
-            self.neighbor_sets[from].contains_key(&to),
+            self.neighbors(from).binary_search(&(to as u32)).is_ok(),
             "vertex {from} attempted to send to non-neighbor {to}"
         );
-        let bits = msg.size_bits();
-        self.metrics.messages += 1;
-        self.metrics.total_bits += bits as u64;
-        self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
-        self.outboxes[to].push((from, msg));
+        self.staged.push((from as u32, to as u32, msg));
     }
 
-    /// Broadcasts a message from `from` to all of its neighbors.
+    /// Broadcasts a message from `from` to all of its neighbors (ascending id order).
     pub fn broadcast(&mut self, from: NodeId, msg: M) {
-        let neighbors: Vec<NodeId> = self
-            .adjacency
-            .neighbors(from)
-            .iter()
-            .map(|nb| nb.node)
-            .collect();
-        for to in neighbors {
-            self.send(from, to, msg.clone());
+        let row = self.nbr_offsets[from] as usize..self.nbr_offsets[from + 1] as usize;
+        for i in row {
+            let to = self.nbr_ids[i];
+            self.staged.push((from as u32, to, msg.clone()));
         }
     }
 
-    /// Ends the round: all queued messages become next round's inboxes.
+    /// Ends the round: all staged messages become next round's inboxes.
+    ///
+    /// Delivery is a stable counting sort by recipient over the staging buffer, so
+    /// each inbox preserves the staging order among its messages; combined with the
+    /// sender-ordered staging of [`SyncNetwork::par_step`] this yields inboxes sorted
+    /// by `(recipient, sender)`. Metrics are counted here — at delivery, not at send —
+    /// so only traffic that actually reaches a vertex is billed.
     pub fn advance_round(&mut self) {
         self.metrics.rounds += 1;
-        for v in 0..self.n {
-            self.inboxes[v] = std::mem::take(&mut self.outboxes[v]);
+        let n = self.n;
+        let total = self.staged.len();
+        self.inbox_offsets.clear();
+        self.inbox_offsets.resize(n + 1, 0);
+        for &(_, to, _) in &self.staged {
+            self.inbox_offsets[to as usize + 1] += 1;
         }
+        for v in 0..n {
+            self.inbox_offsets[v + 1] += self.inbox_offsets[v];
+        }
+        // `perm[j]` = staged index delivered at position `j` (stable counting
+        // placement).
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.inbox_offsets[..n]);
+        self.perm.clear();
+        self.perm.resize(total, 0);
+        for (i, &(_, to, _)) in self.staged.iter().enumerate() {
+            let c = &mut self.cursor[to as usize];
+            self.perm[*c as usize] = i as u32;
+            *c += 1;
+        }
+        // Gather through the permutation with a clone per message. Messages in this
+        // workspace are Copy-sized enums, so the clone is a memcpy and the gather's
+        // sequential writes beat an in-place cycle-walk permutation (tried: ~10%
+        // slower end-to-end on er(2000,60) due to the swap loop's locality). A future
+        // heap-owning message type would prefer a move-based delivery.
+        self.inbox_buf.clear();
+        self.inbox_buf.reserve(total);
+        for j in 0..total {
+            let (from, _, ref msg) = self.staged[self.perm[j] as usize];
+            let bits = msg.size_bits();
+            self.metrics.messages += 1;
+            self.metrics.total_bits += bits as u64;
+            self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+            self.inbox_buf.push((from as usize, msg.clone()));
+        }
+        self.staged.clear();
     }
 
     /// Messages delivered to `v` at the start of the current round.
-    pub fn inbox(&self, v: NodeId) -> &[(NodeId, M)] {
-        &self.inboxes[v]
-    }
-
-    /// Drains the inbox of `v` (avoids cloning when the recipient consumes messages).
-    pub fn take_inbox(&mut self, v: NodeId) -> Vec<(NodeId, M)> {
-        std::mem::take(&mut self.inboxes[v])
+    #[inline]
+    pub fn inbox(&self, v: NodeId) -> &[Envelope<M>] {
+        &self.inbox_buf[self.inbox_offsets[v] as usize..self.inbox_offsets[v + 1] as usize]
     }
 
     /// The metrics accumulated so far.
+    ///
+    /// Debug-asserts that no message is still staged: metrics are meant to be read at
+    /// a protocol boundary, after the final [`SyncNetwork::advance_round`], and a
+    /// message queued after the final round would otherwise silently vanish without
+    /// being either delivered or billed.
     pub fn metrics(&self) -> &NetworkMetrics {
+        debug_assert!(
+            self.staged.is_empty(),
+            "{} message(s) staged but never delivered when metrics were read",
+            self.staged.len()
+        );
         &self.metrics
+    }
+
+    /// Runs one parallel vertex sweep of a vertex program.
+    ///
+    /// `step(scratch, block_out, v, inbox, outbox)` is invoked for every vertex: it may
+    /// read the current round's inbox, emit messages through the outbox, and record
+    /// per-block results in `block_out` (the per-block payloads are returned in block
+    /// order). Vertices are processed in fixed 256-vertex blocks under rayon;
+    /// `scratch` builds one reusable per-worker scratch value (the stamped-slot
+    /// pattern of the shared-memory engine). Emissions are staged in vertex order no
+    /// matter how blocks were interleaved across workers, so a subsequent
+    /// [`SyncNetwork::advance_round`] delivers inboxes sorted by `(recipient, sender)`
+    /// and the whole round is deterministic in the thread count.
+    ///
+    /// Note that this only *stages* messages — the caller decides when the round ends
+    /// by calling [`SyncNetwork::advance_round`], which keeps multi-sweep rounds (e.g.
+    /// "process the previous inbox, then emit") expressible.
+    pub fn par_step<T, B, F>(&mut self, scratch: impl Fn() -> T + Sync, step: F) -> Vec<B>
+    where
+        M: Send + Sync,
+        T: Send,
+        B: Send + Default,
+        F: Fn(&mut T, &mut B, NodeId, &[Envelope<M>], &mut VertexOutbox<'_, M>) + Sync,
+    {
+        let n = self.n;
+        let n_blocks = n.div_ceil(VERTEX_BLOCK);
+        let inbox_offsets = &self.inbox_offsets;
+        let inbox_buf = &self.inbox_buf;
+        let nbr_offsets = &self.nbr_offsets;
+        let nbr_ids = &self.nbr_ids;
+        let out: Vec<(Vec<Staged<M>>, B)> = (0..n_blocks)
+            .into_par_iter()
+            .map_init(&scratch, |sc, block| {
+                let mut msgs: Vec<Staged<M>> = Vec::new();
+                let mut payload = B::default();
+                let start = block * VERTEX_BLOCK;
+                let end = (start + VERTEX_BLOCK).min(n);
+                for v in start..end {
+                    let inbox =
+                        &inbox_buf[inbox_offsets[v] as usize..inbox_offsets[v + 1] as usize];
+                    let neighbors = &nbr_ids[nbr_offsets[v] as usize..nbr_offsets[v + 1] as usize];
+                    let mut outbox = VertexOutbox {
+                        from: v as u32,
+                        neighbors,
+                        buf: &mut msgs,
+                    };
+                    step(sc, &mut payload, v, inbox, &mut outbox);
+                }
+                (msgs, payload)
+            })
+            .collect();
+        let mut payloads = Vec::with_capacity(n_blocks);
+        for (msgs, payload) in out {
+            self.staged.extend(msgs);
+            payloads.push(payload);
+        }
+        payloads
+    }
+}
+
+/// The per-vertex message sink handed to a [`SyncNetwork::par_step`] vertex program.
+///
+/// Enforces the same edges-only discipline as [`SyncNetwork::send`].
+pub struct VertexOutbox<'a, M> {
+    from: u32,
+    neighbors: &'a [u32],
+    buf: &'a mut Vec<Staged<M>>,
+}
+
+impl<M> VertexOutbox<'_, M> {
+    /// Queues a message from the current vertex to its neighbor `to`.
+    ///
+    /// Panics if `to` is not adjacent — the CONGEST model only allows communication
+    /// along edges.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.neighbors.binary_search(&(to as u32)).is_ok(),
+            "vertex {} attempted to send to non-neighbor {to}",
+            self.from
+        );
+        self.buf.push((self.from, to as u32, msg));
+    }
+
+    /// Broadcasts a message to every neighbor (ascending id order).
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for &to in self.neighbors {
+            self.buf.push((self.from, to, msg.clone()));
+        }
     }
 }
 
@@ -208,14 +389,74 @@ mod tests {
     }
 
     #[test]
-    fn take_inbox_empties_it() {
+    fn metrics_are_counted_at_delivery_not_at_send() {
         let g = generators::path(2, 1.0);
         let mut net: SyncNetwork<Ping> = SyncNetwork::new(&g);
-        net.send(1, 0, Ping(3));
+        net.advance_round(); // empty round, so metrics can be read safely below
+        assert_eq!(net.metrics().messages, 0);
+        net.send(0, 1, Ping(1));
         net.advance_round();
-        let msgs = net.take_inbox(0);
-        assert_eq!(msgs.len(), 1);
-        assert!(net.inbox(0).is_empty());
+        assert_eq!(net.metrics().messages, 1);
+        assert_eq!(net.metrics().total_bits, 64);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "staged but never delivered")]
+    fn reading_metrics_with_undelivered_messages_panics() {
+        let g = generators::path(2, 1.0);
+        let mut net: SyncNetwork<Ping> = SyncNetwork::new(&g);
+        net.send(0, 1, Ping(1));
+        let _ = net.metrics();
+    }
+
+    #[test]
+    fn inboxes_are_sorted_by_recipient_then_sender() {
+        // Manual sends in deliberately descending sender order: the delivery sort is
+        // stable in *staging* order, so a par_step sweep (which stages in vertex
+        // order) is what yields (recipient, sender); emulate it here by staging
+        // through par_step.
+        let g = generators::complete(5, 1.0);
+        let mut net: SyncNetwork<Ping> = SyncNetwork::new(&g);
+        net.par_step(
+            || (),
+            |_, _: &mut (), v, _inbox, out| {
+                out.broadcast(Ping(v as u64));
+            },
+        );
+        net.advance_round();
+        for v in 0..5 {
+            let senders: Vec<NodeId> = net.inbox(v).iter().map(|&(from, _)| from).collect();
+            let mut sorted = senders.clone();
+            sorted.sort_unstable();
+            assert_eq!(senders, sorted, "inbox of {v} not sorted by sender");
+            assert_eq!(senders.len(), 4);
+        }
+    }
+
+    #[test]
+    fn par_step_reads_inboxes_and_reports_payloads() {
+        let g = generators::path(4, 1.0);
+        let mut net: SyncNetwork<Ping> = SyncNetwork::new(&g);
+        net.par_step(
+            || (),
+            |_, _: &mut (), v, _inbox, out| {
+                if v + 1 < 4 {
+                    out.send(v + 1, Ping(v as u64 * 10));
+                }
+            },
+        );
+        net.advance_round();
+        // Each vertex sums what it received; payloads come back per block.
+        let sums: Vec<u64> = net.par_step(
+            || (),
+            |_, acc: &mut u64, _v, inbox, _out| {
+                *acc += inbox.iter().map(|(_, p)| p.0).sum::<u64>();
+            },
+        );
+        assert_eq!(sums.iter().sum::<u64>(), 30);
+        net.advance_round();
+        assert_eq!(net.metrics().messages, 3);
     }
 
     #[test]

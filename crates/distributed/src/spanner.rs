@@ -17,18 +17,42 @@
 //!
 //! Total: `O(log² n)` rounds, `O(m log n)` messages of `O(log n)` bits — the bounds of
 //! Theorem 2, which experiment E2 measures.
-
-use std::collections::BTreeMap;
+//!
+//! # Engine design (allocation-free hot path)
+//!
+//! The protocol state mirrors the shared-memory engine of `sgs_spanner::baswana_sen`:
+//!
+//! * The per-vertex "alive incident edges" `BTreeMap` is gone. Active edges live in a
+//!   flat edge view plus a [`ViewCsr`] incidence — the same structure (literally the
+//!   same type) the shared-memory engine uses — and aliveness is two bitmaps, one per
+//!   endpoint. (Per-endpoint, not per-edge: the two sides of an edge can disagree for
+//!   the tail of an iteration, and the duplicate `Kill` traffic this produces is part
+//!   of the pinned communication metrics.)
+//! * The per-vertex "neighbor info" `BTreeMap` is gone. What a vertex broadcast in the
+//!   last exchange is mirrored in two flat arrays (`reported_center` /
+//!   `reported_sampled`); a vertex only ever consults entries of *adjacent* vertices,
+//!   which is exactly the set of `ClusterInfo` messages it received, so the mirror is
+//!   observationally identical to the per-vertex map (and the messages themselves
+//!   still travel through the simulator and are billed).
+//! * Per-round vertex execution runs through [`SyncNetwork::par_step`] under rayon:
+//!   decision sweeps use the cluster-stamped scratch pattern and emit flat per-block
+//!   add/kill batches that are applied sequentially in vertex order, so fixed-seed
+//!   runs are bitwise identical across thread counts.
+//!
+//! The rewrite changes *nothing* observable: `tests/golden_distributed.rs` pins edge
+//! ids and full `NetworkMetrics` captured from the pre-rewrite implementation.
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use sgs_graph::{EdgeId, Graph, NodeId};
+use sgs_spanner::baswana_sen::{EdgeView, ViewCsr};
 
-use crate::network::{MessageSize, NetworkMetrics, SyncNetwork};
+use crate::network::{MessageSize, NetworkMetrics, SyncNetwork, VertexOutbox};
 
 /// Messages exchanged by the distributed spanner protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub enum SpannerMsg {
     /// Propagated down a cluster tree: "our cluster's sampled flag for this iteration".
     SampledFlag {
@@ -107,17 +131,591 @@ pub struct DistSpannerResult {
     pub metrics: NetworkMetrics,
 }
 
-/// Per-vertex protocol state.
-#[derive(Debug, Clone)]
-struct VertexState {
-    center: Option<NodeId>,
-    parent: Option<NodeId>,
-    children: Vec<NodeId>,
+/// Sentinel for "no cluster" / "no parent" in the flat state arrays.
+const NONE32: u32 = u32::MAX;
+
+/// Flat per-vertex protocol state. The old per-vertex `BTreeMap`s (alive edges,
+/// neighbor info) live in the [`Protocol`]'s global flat arrays instead.
+#[derive(Debug, Clone, Copy)]
+struct VertState {
+    /// Cluster center, or [`NONE32`] once the vertex leaves the clustering.
+    center: u32,
+    /// Parent in the cluster tree, or [`NONE32`].
+    parent: u32,
+    /// This iteration's cluster flag, as known to the vertex.
     sampled: bool,
-    /// Alive flags for the *incident* edges, keyed by global edge id.
-    alive: BTreeMap<EdgeId, (NodeId, f64)>,
-    /// Neighbor cluster info gathered in the most recent exchange.
-    neighbor_info: BTreeMap<NodeId, (Option<NodeId>, bool)>,
+    /// Whether the flag has arrived this iteration (centers know immediately).
+    knows_flag: bool,
+}
+
+/// Per-worker scratch for the decision sweeps: cluster-stamped slots plus a
+/// touched-list, giving O(degree) grouping with O(degree) cleanup and zero per-vertex
+/// allocation (the shared-memory engine's `RoundScratch` pattern).
+struct ClusterScratch {
+    stamp: u32,
+    last_seen: Vec<u32>,
+    best_w: Vec<f64>,
+    best_idx: Vec<u32>,
+    /// The adjacent cluster's sampled flag, stored once when the group is created
+    /// (every member reports the same flag).
+    grp_sampled: Vec<bool>,
+    touched: Vec<u32>,
+}
+
+/// Shared read-only context of one grouping sweep: the edge view plus the
+/// per-endpoint aliveness bitmaps and the last-exchange mirrors.
+#[derive(Clone, Copy)]
+struct RowCtx<'a> {
+    view: &'a [EdgeView],
+    alive_a: &'a [bool],
+    alive_b: &'a [bool],
+    rep_c: &'a [u32],
+    rep_s: &'a [bool],
+}
+
+impl ClusterScratch {
+    fn new(n: usize) -> ClusterScratch {
+        ClusterScratch {
+            stamp: 0,
+            last_seen: vec![0; n],
+            best_w: vec![0.0; n],
+            best_idx: vec![0; n],
+            grp_sampled: vec![false; n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// Groups `v`'s own-side alive edges by the neighbor's reported cluster into the
+    /// stamped slots + touched list: per group the lightest edge (first-seen on ties,
+    /// i.e. lowest edge id) and the cluster's sampled flag. Both the Phase C decision
+    /// sweep and the final joining sweep run exactly this grouping.
+    fn group_row(&mut self, v: NodeId, c_v: u32, row: &[u32], ctx: &RowCtx<'_>) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.touched.clear();
+        for &idx32 in row {
+            let idx = idx32 as usize;
+            let (_, a, b, w) = ctx.view[idx];
+            let (own_alive, other) = if a == v {
+                (ctx.alive_a[idx], b)
+            } else {
+                (ctx.alive_b[idx], a)
+            };
+            if !own_alive {
+                continue;
+            }
+            let c_o = ctx.rep_c[other];
+            if c_o == NONE32 || c_o == c_v {
+                // Neighbor didn't broadcast (unclustered) or shares the cluster;
+                // intra-cluster edges retire in the local sweep.
+                continue;
+            }
+            let c = c_o as usize;
+            if self.last_seen[c] != stamp {
+                self.last_seen[c] = stamp;
+                self.best_w[c] = w;
+                self.best_idx[c] = idx32;
+                self.grp_sampled[c] = ctx.rep_s[other];
+                self.touched.push(c_o);
+            } else if w < self.best_w[c] {
+                self.best_w[c] = w;
+                self.best_idx[c] = idx32;
+            }
+        }
+    }
+}
+
+/// Compact Phase C outcome of one vertex; the add/kill view-index lists live in the
+/// owning [`PhaseCBatch`]'s flat buffers.
+#[derive(Debug, Clone, Copy)]
+struct PhaseCDecision {
+    v: u32,
+    /// New cluster center, or [`NONE32`] when the vertex leaves the clustering.
+    new_center: u32,
+    /// New parent (the endpoint behind the joining edge), or [`NONE32`].
+    new_parent: u32,
+    add_len: u32,
+    kill_len: u32,
+}
+
+/// Phase C decisions of one vertex block: per-vertex records plus flat add/kill
+/// view-index lists (segments in record order).
+#[derive(Debug, Default)]
+struct PhaseCBatch {
+    verts: Vec<PhaseCDecision>,
+    adds: Vec<u32>,
+    kills: Vec<u32>,
+}
+
+/// Joining-phase adds of one vertex block.
+#[derive(Debug, Default)]
+struct JoinBatch {
+    adds: Vec<u32>,
+}
+
+/// The full protocol state of one `distributed_spanner_on_edges` run.
+struct Protocol {
+    n: usize,
+    k: usize,
+    net: SyncNetwork<SpannerMsg>,
+    rng: ChaCha8Rng,
+    sample_prob: f64,
+    /// The active edge view (original ids, ascending) and its flat incidence.
+    view: Vec<EdgeView>,
+    csr: ViewCsr,
+    /// Global edge id → view index (or [`NONE32`]), for `Kill` receipt.
+    idx_of: Vec<u32>,
+    states: Vec<VertState>,
+    /// Cluster-tree children, fed by `Child` messages. Entries can go stale when a
+    /// child leaves for another cluster — the resulting extra flag messages are part
+    /// of the protocol's (pinned) communication footprint, exactly as before.
+    children: Vec<Vec<NodeId>>,
+    /// Own-side aliveness of `view[idx]`: `alive_a` is endpoint `view[idx].1`'s side,
+    /// `alive_b` endpoint `view[idx].2`'s.
+    alive_a: Vec<bool>,
+    alive_b: Vec<bool>,
+    in_spanner: Vec<bool>,
+    /// What each vertex broadcast in the most recent exchange ([`NONE32`] when it did
+    /// not broadcast): the simulator-global mirror of the `ClusterInfo` payloads.
+    reported_center: Vec<u32>,
+    reported_sampled: Vec<bool>,
+    /// This iteration's center coin flips (index = vertex id).
+    coins: Vec<bool>,
+}
+
+impl Protocol {
+    fn new(g: &Graph, active: &[EdgeId], cfg: &DistSpannerConfig) -> Protocol {
+        let n = g.n();
+        let k = resolve_k(n, cfg);
+        // Normalise the active set (the old per-vertex BTreeMaps sorted and
+        // deduplicated implicitly).
+        let mut ids: Vec<EdgeId> = active.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        let view: Vec<EdgeView> = ids
+            .iter()
+            .map(|&id| {
+                let e = g.edge(id);
+                (id, e.u, e.v, e.w)
+            })
+            .collect();
+        let csr = ViewCsr::build(n, &view);
+        let mut idx_of = vec![NONE32; g.m()];
+        for (idx, &(id, _, _, _)) in view.iter().enumerate() {
+            idx_of[id] = idx as u32;
+        }
+        let m_view = view.len();
+        Protocol {
+            n,
+            k,
+            net: SyncNetwork::new(g),
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            sample_prob: (n as f64).powf(-1.0 / k as f64),
+            view,
+            csr,
+            idx_of,
+            states: (0..n)
+                .map(|v| VertState {
+                    center: v as u32,
+                    parent: NONE32,
+                    sampled: false,
+                    knows_flag: false,
+                })
+                .collect(),
+            children: vec![Vec::new(); n],
+            alive_a: vec![true; m_view],
+            alive_b: vec![true; m_view],
+            in_spanner: vec![false; m_view],
+            reported_center: vec![NONE32; n],
+            reported_sampled: vec![false; n],
+            coins: Vec::with_capacity(n),
+        }
+    }
+
+    /// Runs the whole protocol and returns the selected original edge ids, sorted.
+    fn run(&mut self) -> Vec<EdgeId> {
+        for it in 1..self.k {
+            self.iteration(it);
+        }
+        self.finale();
+        self.selected_edge_ids()
+    }
+
+    /// The original ids of the edges selected so far, sorted.
+    fn selected_edge_ids(&self) -> Vec<EdgeId> {
+        let mut edge_ids: Vec<EdgeId> = self
+            .view
+            .iter()
+            .zip(&self.in_spanner)
+            .filter_map(|(&(id, _, _, _), &inb)| if inb { Some(id) } else { None })
+            .collect();
+        edge_ids.sort_unstable();
+        edge_ids
+    }
+
+    /// One clustering iteration: sampling propagation (Phase A), neighbor exchange
+    /// (Phase B), local decisions + notifications (Phase C), then the local
+    /// intra-cluster cleanup. Costs `it + 2` simulator rounds.
+    fn iteration(&mut self, it: usize) {
+        self.phase_a(it);
+        self.phase_b();
+        self.phase_c();
+        self.process_kills_and_children();
+        self.retain_intra_cluster();
+    }
+
+    /// Phase A: centers flip this iteration's coin; flags travel one hop per round
+    /// down the cluster trees for `it` rounds (cluster radii are below `it`).
+    fn phase_a(&mut self, it: usize) {
+        let prob = self.sample_prob;
+        self.coins.clear();
+        for _ in 0..self.n {
+            self.coins.push(self.rng.gen::<f64>() < prob);
+        }
+        let coins = &self.coins;
+        self.states.par_iter_mut().enumerate().for_each(|(v, st)| {
+            // Reset both flags at iteration start: a vertex that somehow misses the
+            // propagation below must act as "not sampled", not replay the previous
+            // iteration's flag (see `stale_sampled_flag_is_reset_each_iteration`).
+            st.knows_flag = false;
+            st.sampled = false;
+            if st.center == v as u32 {
+                st.sampled = coins[v];
+                st.knows_flag = true;
+            }
+        });
+        for _ in 0..it {
+            let states = &self.states;
+            let children = &self.children;
+            self.net.par_step(
+                || (),
+                |_, _: &mut (), v, _inbox, out: &mut VertexOutbox<'_, SpannerMsg>| {
+                    let st = &states[v];
+                    if st.knows_flag {
+                        for &c in &children[v] {
+                            out.send(
+                                c,
+                                SpannerMsg::SampledFlag {
+                                    sampled: st.sampled,
+                                },
+                            );
+                        }
+                    }
+                },
+            );
+            self.net.advance_round();
+            let net = &self.net;
+            self.states.par_iter_mut().enumerate().for_each(|(v, st)| {
+                for &(from, ref msg) in net.inbox(v) {
+                    if let SpannerMsg::SampledFlag { sampled } = *msg {
+                        if st.parent == from as u32 && !st.knows_flag {
+                            st.sampled = sampled;
+                            st.knows_flag = true;
+                        }
+                    }
+                }
+            });
+        }
+    }
+
+    /// Phase B: every clustered vertex tells its neighbors its cluster info; the
+    /// broadcast payloads are also mirrored into the `reported_*` arrays.
+    fn phase_b(&mut self) {
+        for (v, st) in self.states.iter().enumerate() {
+            self.reported_center[v] = st.center;
+            self.reported_sampled[v] = st.sampled;
+        }
+        let states = &self.states;
+        self.net.par_step(
+            || (),
+            |_, _: &mut (), v, _inbox, out: &mut VertexOutbox<'_, SpannerMsg>| {
+                let st = &states[v];
+                if st.center != NONE32 {
+                    out.broadcast(SpannerMsg::ClusterInfo {
+                        center: Some(st.center as usize),
+                        sampled: st.sampled,
+                    });
+                }
+            },
+        );
+        self.net.advance_round();
+    }
+
+    /// Phase C: vertices in unsampled clusters decide (two stamped-scratch passes over
+    /// their incidence row), stage `Kill` / `Child` notifications, and the flat
+    /// decision batches are applied sequentially in vertex order.
+    fn phase_c(&mut self) {
+        let n = self.n;
+        let view = &self.view;
+        let csr = &self.csr;
+        let states = &self.states;
+        let alive_a = &self.alive_a;
+        let alive_b = &self.alive_b;
+        let rep_c = &self.reported_center;
+        let rep_s = &self.reported_sampled;
+        let ctx = RowCtx {
+            view,
+            alive_a,
+            alive_b,
+            rep_c,
+            rep_s,
+        };
+        let batches: Vec<PhaseCBatch> = self.net.par_step(
+            || ClusterScratch::new(n),
+            |sc, batch: &mut PhaseCBatch, v, _inbox, out| {
+                let st = &states[v];
+                let c_v = st.center;
+                if c_v == NONE32 || st.sampled {
+                    // Unclustered vertices are settled; sampled clusters carry over.
+                    return;
+                }
+                let row = csr.row(v);
+
+                // Pass 1: the shared stamped grouping sweep.
+                sc.group_row(v, c_v, row, &ctx);
+
+                let adds_before = batch.adds.len();
+                let kills_before = batch.kills.len();
+                let new_center;
+                let new_parent;
+                if sc.touched.is_empty() {
+                    // No clustered foreign neighbor: the vertex leaves the clustering
+                    // and every still-alive own-side edge leaves the protocol.
+                    new_center = NONE32;
+                    new_parent = NONE32;
+                    for &idx32 in row {
+                        let idx = idx32 as usize;
+                        let (_, a, _, _) = view[idx];
+                        let own_alive = if a == v { alive_a[idx] } else { alive_b[idx] };
+                        if own_alive {
+                            batch.kills.push(idx32);
+                        }
+                    }
+                } else {
+                    // Lightest edge into a *sampled* adjacent cluster, ties broken by
+                    // cluster id so the choice is grouping-order independent.
+                    let mut best: Option<(f64, u32)> = None;
+                    for &c in &sc.touched {
+                        if sc.grp_sampled[c as usize] {
+                            let w = sc.best_w[c as usize];
+                            let better = match best {
+                                None => true,
+                                Some((w0, c0)) => w < w0 || (w == w0 && c < c0),
+                            };
+                            if better {
+                                best = Some((w, c));
+                            }
+                        }
+                    }
+                    match best {
+                        None => {
+                            // No sampled cluster adjacent: keep one lightest edge per
+                            // adjacent cluster, discard everything else, and leave.
+                            new_center = NONE32;
+                            new_parent = NONE32;
+                            for &idx32 in row {
+                                let idx = idx32 as usize;
+                                let (_, a, b, _) = view[idx];
+                                let (own_alive, other) = if a == v {
+                                    (alive_a[idx], b)
+                                } else {
+                                    (alive_b[idx], a)
+                                };
+                                if !own_alive {
+                                    continue;
+                                }
+                                let c_o = rep_c[other];
+                                if c_o != NONE32 && c_o != c_v && sc.best_idx[c_o as usize] == idx32
+                                {
+                                    batch.adds.push(idx32);
+                                }
+                                batch.kills.push(idx32);
+                            }
+                        }
+                        Some((w_star, c_star)) => {
+                            // Join the sampled cluster through its lightest edge; also
+                            // keep the lightest edge into every strictly lighter
+                            // neighbor cluster.
+                            let best_idx = sc.best_idx[c_star as usize];
+                            let (_, a, b, _) = view[best_idx as usize];
+                            let p = if a == v { b } else { a };
+                            new_center = c_star;
+                            new_parent = p as u32;
+                            batch.adds.push(best_idx);
+                            for &idx32 in row {
+                                let idx = idx32 as usize;
+                                let (_, a, b, _) = view[idx];
+                                let (own_alive, other) = if a == v {
+                                    (alive_a[idx], b)
+                                } else {
+                                    (alive_b[idx], a)
+                                };
+                                if !own_alive {
+                                    continue;
+                                }
+                                let c_o = rep_c[other];
+                                if c_o == NONE32 || c_o == c_v {
+                                    continue;
+                                }
+                                if c_o == c_star {
+                                    batch.kills.push(idx32);
+                                } else if sc.best_w[c_o as usize] < w_star {
+                                    if sc.best_idx[c_o as usize] == idx32 {
+                                        batch.adds.push(idx32);
+                                    }
+                                    batch.kills.push(idx32);
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Notifications: one Kill per retired own-side edge, one Child to the
+                // new parent.
+                for &idx32 in &batch.kills[kills_before..] {
+                    let (id, a, b, _) = view[idx32 as usize];
+                    let other = if a == v { b } else { a };
+                    out.send(other, SpannerMsg::Kill { edge: id });
+                }
+                if new_parent != NONE32 {
+                    out.send(new_parent as usize, SpannerMsg::Child);
+                }
+                batch.verts.push(PhaseCDecision {
+                    v: v as u32,
+                    new_center,
+                    new_parent,
+                    add_len: (batch.adds.len() - adds_before) as u32,
+                    kill_len: (batch.kills.len() - kills_before) as u32,
+                });
+            },
+        );
+
+        // Apply the decisions sequentially in vertex order (batches are emitted in
+        // block = vertex order), so the parallel and sequential paths stay
+        // bit-identical. Cost: proportional to edges touched.
+        for batch in &batches {
+            let mut adds_pos = 0usize;
+            let mut kills_pos = 0usize;
+            for dec in &batch.verts {
+                let v = dec.v as usize;
+                for &idx in &batch.adds[adds_pos..adds_pos + dec.add_len as usize] {
+                    self.in_spanner[idx as usize] = true;
+                }
+                adds_pos += dec.add_len as usize;
+                for &idx in &batch.kills[kills_pos..kills_pos + dec.kill_len as usize] {
+                    let (_, a, _, _) = self.view[idx as usize];
+                    if a == v {
+                        self.alive_a[idx as usize] = false;
+                    } else {
+                        self.alive_b[idx as usize] = false;
+                    }
+                }
+                kills_pos += dec.kill_len as usize;
+                // Leaving the clustering and re-clustering are the same writes: the
+                // decision's center/parent are NONE32 for a vertex that left.
+                let st = &mut self.states[v];
+                st.center = dec.new_center;
+                st.parent = dec.new_parent;
+                self.children[v].clear();
+            }
+        }
+        self.net.advance_round();
+    }
+
+    /// Delivers the Phase C notifications: `Kill` retires the receiver's side of the
+    /// edge, `Child` extends the receiver's cluster-tree children (inboxes are sorted
+    /// by sender, so the children order is reproducible).
+    fn process_kills_and_children(&mut self) {
+        for v in 0..self.n {
+            // The sequential sweep cannot hold `&self.net` across the mutations, so
+            // walk the inbox by index (it is a flat slice; this is allocation-free).
+            for i in 0..self.net.inbox(v).len() {
+                let (from, msg) = self.net.inbox(v)[i];
+                match msg {
+                    SpannerMsg::Kill { edge } => {
+                        let idx = self.idx_of[edge];
+                        debug_assert_ne!(idx, NONE32, "Kill for an edge outside the view");
+                        let (_, a, _, _) = self.view[idx as usize];
+                        if a == v {
+                            self.alive_a[idx as usize] = false;
+                        } else {
+                            self.alive_b[idx as usize] = false;
+                        }
+                    }
+                    SpannerMsg::Child => self.children[v].push(from),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Intra-cluster edges retire locally (no message needed: both endpoints can see
+    /// the shared center from the latest exchange). Each endpoint drops its own side;
+    /// the per-edge flag writes commute, so the sweeps run in parallel.
+    fn retain_intra_cluster(&mut self) {
+        let states = &self.states;
+        let rep_c = &self.reported_center;
+        let view = &self.view;
+        self.alive_a
+            .par_iter_mut()
+            .zip(view.par_iter())
+            .for_each(|(alive, &(_, a, b, _))| {
+                if *alive {
+                    let c = states[a].center;
+                    if c != NONE32 && rep_c[b] == c {
+                        *alive = false;
+                    }
+                }
+            });
+        self.alive_b
+            .par_iter_mut()
+            .zip(view.par_iter())
+            .for_each(|(alive, &(_, a, b, _))| {
+                if *alive {
+                    let c = states[b].center;
+                    if c != NONE32 && rep_c[a] == c {
+                        *alive = false;
+                    }
+                }
+            });
+    }
+
+    /// Phase 2: final vertex–cluster joining — one more exchange, then every vertex
+    /// keeps the lightest still-alive edge into each adjacent foreign cluster.
+    fn finale(&mut self) {
+        self.phase_b();
+        let n = self.n;
+        let view = &self.view;
+        let csr = &self.csr;
+        let states = &self.states;
+        let ctx = RowCtx {
+            view,
+            alive_a: &self.alive_a,
+            alive_b: &self.alive_b,
+            rep_c: &self.reported_center,
+            rep_s: &self.reported_sampled,
+        };
+        let batches: Vec<JoinBatch> = self.net.par_step(
+            || ClusterScratch::new(n),
+            |sc, batch: &mut JoinBatch, v, _inbox, _out| {
+                sc.group_row(v, states[v].center, csr.row(v), &ctx);
+                for &c in &sc.touched {
+                    batch.adds.push(sc.best_idx[c as usize]);
+                }
+            },
+        );
+        for batch in &batches {
+            for &idx in &batch.adds {
+                self.in_spanner[idx as usize] = true;
+            }
+        }
+    }
+}
+
+fn resolve_k(n: usize, cfg: &DistSpannerConfig) -> usize {
+    cfg.k
+        .unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize)
+        .max(1)
 }
 
 /// Runs the distributed Baswana–Sen spanner on the communication graph `g`, restricted
@@ -129,316 +727,18 @@ pub fn distributed_spanner_on_edges(
     cfg: &DistSpannerConfig,
 ) -> DistSpannerResult {
     let n = g.n();
-    let k = cfg
-        .k
-        .unwrap_or_else(|| (n.max(2) as f64).log2().ceil() as usize)
-        .max(1);
+    let k = resolve_k(n, cfg);
     if n <= 2 || k <= 1 || active.is_empty() {
         return DistSpannerResult {
             edge_ids: active.to_vec(),
             metrics: NetworkMetrics::default(),
         };
     }
-
-    let mut net: SyncNetwork<SpannerMsg> = SyncNetwork::new(g);
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-
-    // Initial state: every vertex is its own cluster; alive edges are the active ones.
-    let mut state: Vec<VertexState> = (0..n)
-        .map(|v| VertexState {
-            center: Some(v),
-            parent: None,
-            children: Vec::new(),
-            sampled: false,
-            alive: BTreeMap::new(),
-            neighbor_info: BTreeMap::new(),
-        })
-        .collect();
-    for &id in active {
-        let e = g.edge(id);
-        state[e.u].alive.insert(id, (e.v, e.w));
-        state[e.v].alive.insert(id, (e.u, e.w));
-    }
-    let mut in_spanner = vec![false; g.m()];
-
-    for iteration in 1..k {
-        // --- Phase A: cluster centers sample themselves; flags travel down the trees.
-        let sampled_centers: Vec<bool> = (0..n)
-            .map(|_| rng.gen::<f64>() < (n as f64).powf(-1.0 / k as f64))
-            .collect();
-        let mut knows_flag = vec![false; n];
-        for v in 0..n {
-            if state[v].center == Some(v) {
-                state[v].sampled = sampled_centers[v];
-                knows_flag[v] = true;
-            }
-        }
-        // Propagate for `iteration` rounds (cluster radius is below the iteration index).
-        for _ in 0..iteration {
-            let mut to_send: Vec<(NodeId, NodeId, bool)> = Vec::new();
-            for v in 0..n {
-                if knows_flag[v] {
-                    for &c in &state[v].children {
-                        to_send.push((v, c, state[v].sampled));
-                    }
-                }
-            }
-            for (from, to, sampled) in to_send {
-                net.send(from, to, SpannerMsg::SampledFlag { sampled });
-            }
-            net.advance_round();
-            for v in 0..n {
-                let inbox = net.take_inbox(v);
-                for (from, msg) in inbox {
-                    if let SpannerMsg::SampledFlag { sampled } = msg {
-                        if state[v].parent == Some(from) && !knows_flag[v] {
-                            state[v].sampled = sampled;
-                            knows_flag[v] = true;
-                        }
-                    }
-                }
-            }
-        }
-
-        // --- Phase B: every clustered vertex tells its neighbors its cluster info.
-        for (v, st) in state.iter().enumerate() {
-            if st.center.is_some() {
-                net.broadcast(
-                    v,
-                    SpannerMsg::ClusterInfo {
-                        center: st.center,
-                        sampled: st.sampled,
-                    },
-                );
-            }
-        }
-        net.advance_round();
-        for (v, st) in state.iter_mut().enumerate() {
-            st.neighbor_info.clear();
-            let inbox = net.take_inbox(v);
-            for (from, msg) in inbox {
-                if let SpannerMsg::ClusterInfo { center, sampled } = msg {
-                    st.neighbor_info.insert(from, (center, sampled));
-                }
-            }
-        }
-
-        // --- Phase C: local decisions for vertices in unsampled clusters.
-        #[derive(Default)]
-        struct PhaseCOut {
-            new_parent: Option<NodeId>,
-            new_center: Option<NodeId>,
-            unclustered: bool,
-            add: Vec<EdgeId>,
-            kill: Vec<(NodeId, EdgeId)>,
-        }
-        /// Edges from one vertex into a single adjacent cluster: the lightest edge
-        /// (weight, id, neighbor endpoint) plus every member edge for kill bookkeeping.
-        struct AdjacentCluster {
-            min_w: f64,
-            min_edge: EdgeId,
-            min_neighbor: NodeId,
-            members: Vec<(NodeId, EdgeId)>,
-        }
-        let mut outcomes: Vec<Option<PhaseCOut>> = (0..n).map(|_| None).collect();
-        for v in 0..n {
-            let c_v = match state[v].center {
-                Some(c) => c,
-                None => continue,
-            };
-            if state[v].sampled {
-                continue; // members of sampled clusters carry over
-            }
-            // Group alive edges by the neighbor's cluster.
-            let mut groups: BTreeMap<NodeId, AdjacentCluster> = BTreeMap::new();
-            for (&eid, &(other, w)) in &state[v].alive {
-                let (other_center, other_sampled) = match state[v].neighbor_info.get(&other) {
-                    Some(&(Some(c), s)) => (c, s),
-                    _ => continue,
-                };
-                if other_center == c_v {
-                    continue;
-                }
-                let entry = groups.entry(other_center).or_insert(AdjacentCluster {
-                    min_w: f64::INFINITY,
-                    min_edge: EdgeId::MAX,
-                    min_neighbor: other,
-                    members: Vec::new(),
-                });
-                if w < entry.min_w {
-                    entry.min_w = w;
-                    entry.min_edge = eid;
-                    entry.min_neighbor = other;
-                }
-                entry.members.push((other, eid));
-                // Remember whether this cluster is sampled by stashing it via the flag
-                // of any reporting member (all members report the same flag).
-                let _ = other_sampled;
-            }
-            let mut out = PhaseCOut::default();
-            if groups.is_empty() {
-                out.unclustered = true;
-                outcomes[v] = Some(out);
-                continue;
-            }
-            // Lightest edge into a sampled adjacent cluster, deterministic tie-break.
-            let best_sampled = groups
-                .iter()
-                .filter(|(_, grp)| {
-                    matches!(
-                        state[v].neighbor_info.get(&grp.min_neighbor),
-                        Some(&(_, true))
-                    )
-                })
-                .min_by(|a, b| {
-                    a.1.min_w
-                        .partial_cmp(&b.1.min_w)
-                        .unwrap()
-                        .then_with(|| a.0.cmp(b.0))
-                })
-                .map(|(&c, grp)| (c, grp.min_w, grp.min_edge, grp.min_neighbor));
-            match best_sampled {
-                None => {
-                    for (_, grp) in groups {
-                        out.add.push(grp.min_edge);
-                        out.kill.extend(grp.members);
-                    }
-                    out.unclustered = true;
-                }
-                Some((c_star, w_star, best_eid, best_other)) => {
-                    out.new_center = Some(c_star);
-                    out.new_parent = Some(best_other);
-                    out.add.push(best_eid);
-                    for (c, grp) in groups {
-                        if c == c_star {
-                            out.kill.extend(grp.members);
-                        } else if grp.min_w < w_star {
-                            out.add.push(grp.min_edge);
-                            out.kill.extend(grp.members);
-                        }
-                    }
-                }
-            }
-            outcomes[v] = Some(out);
-        }
-
-        // Apply outcomes: send Kill / Child notifications, update local state.
-        for v in 0..n {
-            let out = match outcomes[v].take() {
-                Some(o) => o,
-                None => continue,
-            };
-            for eid in out.add {
-                in_spanner[eid] = true;
-            }
-            for (other, eid) in &out.kill {
-                state[v].alive.remove(eid);
-                net.send(v, *other, SpannerMsg::Kill { edge: *eid });
-            }
-            if out.unclustered {
-                state[v].center = None;
-                state[v].parent = None;
-                state[v].children.clear();
-                // Edges of an unclustered vertex leave the protocol entirely.
-                let remaining: Vec<(NodeId, EdgeId)> = state[v]
-                    .alive
-                    .iter()
-                    .map(|(&eid, &(other, _))| (other, eid))
-                    .collect();
-                for (other, eid) in remaining {
-                    state[v].alive.remove(&eid);
-                    net.send(v, other, SpannerMsg::Kill { edge: eid });
-                }
-            } else if let (Some(c), Some(p)) = (out.new_center, out.new_parent) {
-                state[v].center = Some(c);
-                state[v].parent = Some(p);
-                state[v].children.clear();
-                net.send(v, p, SpannerMsg::Child);
-            }
-        }
-        net.advance_round();
-        for (v, st) in state.iter_mut().enumerate() {
-            let inbox = net.take_inbox(v);
-            for (from, msg) in inbox {
-                match msg {
-                    SpannerMsg::Kill { edge } => {
-                        st.alive.remove(&edge);
-                    }
-                    SpannerMsg::Child => {
-                        st.children.push(from);
-                    }
-                    _ => {}
-                }
-            }
-        }
-
-        // Intra-cluster edges retire locally (no message needed: both endpoints will see
-        // the shared center in the next exchange). We drop them here to keep `alive`
-        // small; each endpoint discovers the same fact symmetrically next iteration, so
-        // we only drop those already observable from the latest exchange.
-        for st in state.iter_mut() {
-            if let Some(c_v) = st.center {
-                let neighbor_info = &st.neighbor_info;
-                st.alive.retain(|_, &mut (other, _)| {
-                    !matches!(neighbor_info.get(&other), Some(&(Some(c_o), _)) if c_o == c_v)
-                });
-            }
-        }
-    }
-
-    // --- Phase 2: final vertex–cluster joining.
-    for (v, st) in state.iter().enumerate() {
-        if st.center.is_some() {
-            net.broadcast(
-                v,
-                SpannerMsg::ClusterInfo {
-                    center: st.center,
-                    sampled: st.sampled,
-                },
-            );
-        }
-    }
-    net.advance_round();
-    for (v, st) in state.iter_mut().enumerate() {
-        st.neighbor_info.clear();
-        let inbox = net.take_inbox(v);
-        for (from, msg) in inbox {
-            if let SpannerMsg::ClusterInfo { center, sampled } = msg {
-                st.neighbor_info.insert(from, (center, sampled));
-            }
-        }
-    }
-    for st in state.iter() {
-        let mut best: BTreeMap<NodeId, (f64, EdgeId)> = BTreeMap::new();
-        for (&eid, &(other, w)) in &st.alive {
-            let other_center = match st.neighbor_info.get(&other) {
-                Some(&(Some(c), _)) => c,
-                _ => continue,
-            };
-            if st.center == Some(other_center) {
-                continue;
-            }
-            let entry = best
-                .entry(other_center)
-                .or_insert((f64::INFINITY, EdgeId::MAX));
-            if w < entry.0 {
-                *entry = (w, eid);
-            }
-        }
-        for (_, (_, eid)) in best {
-            in_spanner[eid] = true;
-        }
-    }
-
-    let mut edge_ids: Vec<EdgeId> = in_spanner
-        .iter()
-        .enumerate()
-        .filter_map(|(id, &inb)| if inb { Some(id) } else { None })
-        .collect();
-    edge_ids.sort_unstable();
+    let mut proto = Protocol::new(g, active, cfg);
+    let edge_ids = proto.run();
     DistSpannerResult {
         edge_ids,
-        metrics: net.metrics().clone(),
+        metrics: proto.net.metrics().clone(),
     }
 }
 
@@ -530,6 +830,21 @@ mod tests {
     }
 
     #[test]
+    fn unsorted_active_set_is_normalised() {
+        // The old per-vertex BTreeMaps sorted the active ids implicitly; the flat view
+        // must behave identically when the caller passes an arbitrary order.
+        let g = generators::erdos_renyi(60, 0.3, 1.0, 5);
+        let cfg = DistSpannerConfig::with_seed(2);
+        let sorted: Vec<EdgeId> = (0..g.m()).collect();
+        let mut shuffled: Vec<EdgeId> = sorted.iter().rev().copied().collect();
+        shuffled.extend_from_slice(&sorted[..10]); // duplicates too
+        let a = distributed_spanner_on_edges(&g, &sorted, &cfg);
+        let b = distributed_spanner_on_edges(&g, &shuffled, &cfg);
+        assert_eq!(a.edge_ids, b.edge_ids);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
     fn trivial_inputs() {
         let g = Graph::from_tuples(2, vec![(0, 1, 1.0)]).unwrap();
         let r = distributed_spanner(&g, &DistSpannerConfig::default());
@@ -547,5 +862,51 @@ mod tests {
         let b = distributed_spanner(&g, &DistSpannerConfig::with_seed(4));
         assert_eq!(a.edge_ids, b.edge_ids);
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    /// Regression test for the stale-sampled-flag bug: `VertState::sampled` must be
+    /// reset at iteration start, so a vertex that misses the flag propagation acts as
+    /// "not sampled" instead of replaying the previous iteration's flag.
+    ///
+    /// The shipped protocol always delivers the flag (propagation runs `it` rounds
+    /// against a cluster radius of at most `it − 1`), so the miss is *simulated*: after
+    /// the first iteration every cluster tree is severed (children lists cleared) in
+    /// two otherwise identical runs, and in one of them every non-center vertex is
+    /// additionally poisoned with `sampled = true`. With the reset, the poison is dead
+    /// state and both runs must agree bit-for-bit; without it, the poisoned run
+    /// broadcasts the stale flags in Phase B and selects a different spanner.
+    #[test]
+    fn stale_sampled_flag_is_reset_each_iteration() {
+        let g = generators::erdos_renyi(120, 0.15, 1.0, 21);
+        let cfg = DistSpannerConfig::with_seed(6);
+        let active: Vec<EdgeId> = (0..g.m()).collect();
+
+        let run = |poison: bool| -> (Vec<EdgeId>, NetworkMetrics) {
+            let mut proto = Protocol::new(&g, &active, &cfg);
+            proto.iteration(1);
+            for children in proto.children.iter_mut() {
+                children.clear(); // sever every cluster tree: propagation now misses
+            }
+            if poison {
+                for (v, st) in proto.states.iter_mut().enumerate() {
+                    if st.center != NONE32 && st.center != v as u32 {
+                        st.sampled = true; // the stale flag the reset must erase
+                    }
+                }
+            }
+            for it in 2..proto.k {
+                proto.iteration(it);
+            }
+            proto.finale();
+            (proto.selected_edge_ids(), proto.net.metrics().clone())
+        };
+
+        let (clean_ids, clean_metrics) = run(false);
+        let (poisoned_ids, poisoned_metrics) = run(true);
+        assert_eq!(
+            clean_ids, poisoned_ids,
+            "a stale sampled flag leaked into the protocol output"
+        );
+        assert_eq!(clean_metrics, poisoned_metrics);
     }
 }

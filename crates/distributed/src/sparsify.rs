@@ -8,14 +8,17 @@
 //!   3.1), adding `O(t log² n)` rounds and `O(t m log n)` messages (Corollary 3);
 //! * the uniform sampling step of Algorithm 1 is entirely local — every vertex owns the
 //!   coin flips of its incident edges (the lower-endpoint owns the coin, so each edge is
-//!   flipped exactly once) and no communication is needed;
+//!   flipped exactly once) and no communication is needed. The coin is the shared
+//!   counter-based [`edge_coin`] mix of `sgs-core`: each edge reads its own stateless
+//!   stream position, so the outcome is independent of scheduling and costs two
+//!   multiply-xor cascades instead of a fresh ChaCha8 key schedule per edge;
 //! * `PARALLELSPARSIFY` repeats the above `⌈log ρ⌉` times.
 
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 use sgs_core::config::SparsifyConfig;
-use sgs_graph::{EdgeId, Graph};
+use sgs_core::edge_coin;
+use sgs_graph::{Edge, EdgeId, Graph};
 
 use crate::network::NetworkMetrics;
 use crate::spanner::{distributed_spanner_on_edges, DistSpannerConfig};
@@ -61,21 +64,27 @@ pub fn distributed_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> DistSpar
     }
 
     // Local sampling: the lower-id endpoint of each off-bundle edge flips the coin.
+    // No communication happens here, so the step also runs thread-parallel in the
+    // simulator — each edge's coin is a counter mix of (seed, id), never of worker
+    // scheduling, and kept edges collect in id order.
     let p = cfg.keep_probability;
+    let reweight = 1.0 / p;
     let seed = cfg.seed ^ 0xD157_5A4D;
-    let mut sparsifier = Graph::with_capacity(n, m / 2);
-    let mut bundle_edges = 0;
-    for (id, e) in g.edges().iter().enumerate() {
+    let decide = |id: usize| -> Option<Edge> {
+        let e = g.edge(id);
         if in_bundle[id] {
-            sparsifier.push_edge_unchecked(e.u, e.v, e.w);
-            bundle_edges += 1;
+            Some(e)
+        } else if edge_coin(seed, id as u64) < p {
+            Some(Edge::new(e.u, e.v, e.w * reweight))
         } else {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(id as u64));
-            if rng.gen::<f64>() < p {
-                sparsifier.push_edge_unchecked(e.u, e.v, e.w / p);
-            }
+            None
         }
-    }
+    };
+    let kept: Vec<Edge> = (0..m).into_par_iter().filter_map(decide).collect();
+    // `active` was retained to exactly the off-bundle edges, so the split needs no
+    // re-scan of the bitmap.
+    let bundle_edges = m - active.len();
+    let sparsifier = Graph::from_edges_unchecked(n, kept);
 
     DistSparsifyResult {
         sparsifier,

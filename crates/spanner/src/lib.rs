@@ -25,7 +25,8 @@ pub mod bundle;
 pub mod greedy;
 
 pub use baswana_sen::{
-    baswana_sen_on_view, baswana_sen_spanner, SpannerConfig, SpannerEngine, SpannerResult,
+    baswana_sen_on_view, baswana_sen_spanner, EdgeView, SpannerConfig, SpannerEngine,
+    SpannerResult, ViewCsr,
 };
 pub use bundle::{t_bundle, BundleConfig, BundleResult};
 pub use greedy::greedy_spanner;

@@ -7,6 +7,7 @@
 //! mat-vec, effective resistances, Baswana–Sen spanners, edge sampling, and
 //! the full `PARALLELSPARSIFY` loop.
 
+use spectral_sparsify::distributed::{distributed_sparsify, DistSpannerConfig};
 use spectral_sparsify::graph::{generators, stretch};
 use spectral_sparsify::linalg::{approx_effective_resistances, CsrMatrix};
 use spectral_sparsify::spanner::{baswana_sen_spanner, t_bundle, BundleConfig, SpannerConfig};
@@ -95,6 +96,38 @@ fn full_sparsifier_is_byte_identical_across_thread_counts() {
     let b = on_pool(4, || parallel_sparsify(&g, &cfg));
     assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
     assert_eq!(a.stats.total_work(), b.stats.total_work());
+}
+
+#[test]
+fn distributed_sparsify_is_identical_across_thread_counts() {
+    // Pins the CONGEST engine end to end: the `par_step` vertex sweeps stage messages
+    // in fixed 256-vertex blocks and the delivery sort is stable, so the protocol's
+    // outputs *and* its communication accounting (rounds / messages / bits) must be
+    // byte-identical no matter how wide the pool is.
+    let g = generators::erdos_renyi(250, 0.25, 1.0, 41);
+    let cfg = SparsifyConfig::new(0.75, 4.0)
+        .with_bundle_sizing(BundleSizing::Fixed(3))
+        .with_seed(29);
+    let a = on_pool(1, || distributed_sparsify(&g, &cfg));
+    let b = on_pool(4, || distributed_sparsify(&g, &cfg));
+    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+    assert_eq!(a.metrics, b.metrics);
+    assert_eq!(a.rounds_executed, b.rounds_executed);
+    assert_eq!(a.bundle_edges, b.bundle_edges);
+}
+
+#[test]
+fn distributed_spanner_is_identical_across_thread_counts() {
+    let g = generators::erdos_renyi(300, 0.15, 1.0, 43);
+    let cfg = DistSpannerConfig::with_seed(23);
+    let a = on_pool(1, || {
+        spectral_sparsify::distributed::distributed_spanner(&g, &cfg)
+    });
+    let b = on_pool(4, || {
+        spectral_sparsify::distributed::distributed_spanner(&g, &cfg)
+    });
+    assert_eq!(a.edge_ids, b.edge_ids);
+    assert_eq!(a.metrics, b.metrics);
 }
 
 #[test]
