@@ -1,0 +1,57 @@
+//! Criterion bench for experiment E8: the semi-streaming engine (`sgs-stream`).
+//!
+//! The batch-count sweep pins the engine's core claim — the batch chop is pure
+//! ingestion granularity, so throughput must be flat across it (identical leaves,
+//! identical reductions, only `ingest_batch` call overhead varies). The budget sweep
+//! shows the work/memory trade: tighter budgets force more (and deeper) reductions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sgs_bench::Workload;
+use sgs_core::BundleSizing;
+use sgs_graph::Graph;
+use sgs_stream::{StreamConfig, StreamOutput, StreamSparsifier};
+
+fn stream(g: &Graph, cfg: &StreamConfig, batch_edges: usize) -> StreamOutput {
+    let mut s = StreamSparsifier::new(g.n(), cfg.clone());
+    for chunk in g.edges().chunks(batch_edges) {
+        s.ingest_batch(chunk).expect("valid edges");
+    }
+    s.finish()
+}
+
+fn bench_stream_batch_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream/batch_sweep");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 2000, deg: 60 }.build(51);
+    let cfg = StreamConfig::new(0.75, g.m() / 4)
+        .with_bundle_sizing(BundleSizing::Fixed(2))
+        .with_seed(5);
+    for batches in [1usize, 8, 64] {
+        let batch_edges = g.m().div_ceil(batches);
+        group.bench_with_input(
+            BenchmarkId::new("batches", batches),
+            &batch_edges,
+            |b, &batch_edges| b.iter(|| stream(&g, &cfg, batch_edges)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_stream_budget_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream/budget_sweep");
+    group.sample_size(10);
+    let g = Workload::ErdosRenyi { n: 2000, deg: 60 }.build(51);
+    for divisor in [2usize, 4, 8] {
+        let cfg = StreamConfig::new(0.75, g.m() / divisor)
+            .with_bundle_sizing(BundleSizing::Fixed(2))
+            .with_seed(5);
+        group.bench_with_input(BenchmarkId::new("budget_m_div", divisor), &cfg, |b, cfg| {
+            b.iter(|| stream(&g, cfg, g.m() / 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_batch_sweep, bench_stream_budget_sweep);
+criterion_main!(benches);

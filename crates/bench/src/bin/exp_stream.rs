@@ -1,0 +1,175 @@
+//! Experiment E8 — the semi-streaming engine (`sgs-stream`) under a memory budget.
+//!
+//! Streams a fixed Erdős–Rényi workload through `StreamSparsifier` in a configurable
+//! number of batches under a configurable resident-edge budget, sweeping rayon pool
+//! widths, and reports wall-clock plus the memory/ε accounting. The outputs
+//! (`m_out`, `peak_resident_edges`, ε ledger) must be identical across thread rows —
+//! the engine is thread-count and batch-chop deterministic — so only the wall clock
+//! varies.
+//!
+//! Run with: `cargo run --release -p sgs-bench --bin exp_stream [-- FLAGS]`
+//!
+//! Flags:
+//! * `--n N` / `--deg D` — workload size (defaults 4000 / 150, ≈300k edges).
+//! * `--batches B` — how many equal batches the edge stream is chopped into
+//!   (default 16; informational only — the output provably does not depend on it).
+//! * `--batch-edges E` — alternative to `--batches`: explicit batch size in edges.
+//! * `--budget-edges M` — resident-edge budget (default `m / 4`).
+//! * `--threads 1,2,4` — comma-separated pool widths to sweep (default `1,2,4`).
+//! * `--t N` / `--keep P` / `--rho R` / `--arity K` — per-reduction bundle size,
+//!   off-bundle keep probability, sparsification factor, and merge fan-in (defaults
+//!   2 / 0.5 / 2 / 2; ablation knobs for the quality-vs-memory trade).
+//! * `--verify` — also certify the spectral bounds of the final sparsifier against
+//!   the full graph (adds a few seconds of CG-powered power iteration).
+//! * `--json` / `--json-out PATH` / `--bench-json PATH` — as in every experiment
+//!   binary; `bench_compare` gates `stream_sparsify_ms` and `peak_resident_edges`
+//!   of the `threads = 1` row against the committed `BENCH_5.json`.
+
+use serde::Serialize;
+use sgs_bench::{print_table, time_ms, Row, Workload};
+use sgs_core::BundleSizing;
+use sgs_linalg::spectral::{approximation_bounds, CertifyOptions};
+use sgs_stream::{StreamConfig, StreamOutput, StreamSparsifier};
+
+/// Repo-root perf snapshot: one record per thread count on one fixed workload.
+#[derive(Debug, Clone, Serialize)]
+struct BenchSnapshot {
+    bench: String,
+    workload: String,
+    graph_n: usize,
+    graph_m: usize,
+    host_cores: usize,
+    rows: Vec<Row>,
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = flag_value(&args, "--n")
+        .map(|v| v.parse().expect("--n takes an integer"))
+        .unwrap_or(4000);
+    let deg: usize = flag_value(&args, "--deg")
+        .map(|v| v.parse().expect("--deg takes an integer"))
+        .unwrap_or(150);
+    let thread_counts: Vec<usize> = flag_value(&args, "--threads")
+        .map(|v| {
+            v.split(',')
+                .map(|t| t.trim().parse().expect("--threads takes a comma list"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let verify = args.iter().any(|a| a == "--verify");
+
+    let workload = Workload::ErdosRenyi { n, deg };
+    let g = workload.build(51);
+    let m = g.m();
+    let budget: usize = flag_value(&args, "--budget-edges")
+        .map(|v| v.parse().expect("--budget-edges takes an integer"))
+        .unwrap_or(m / 4);
+    let batch_edges: usize = flag_value(&args, "--batch-edges")
+        .map(|v| v.parse().expect("--batch-edges takes an integer"))
+        .unwrap_or_else(|| {
+            let batches: usize = flag_value(&args, "--batches")
+                .map(|v| v.parse().expect("--batches takes an integer"))
+                .unwrap_or(16);
+            m.div_ceil(batches.max(1)).max(1)
+        });
+    println!(
+        "graph: n = {}, m = {m}, budget = {budget} resident edges, batches of {batch_edges}",
+        g.n()
+    );
+
+    let t: usize = flag_value(&args, "--t")
+        .map(|v| v.parse().expect("--t takes an integer"))
+        .unwrap_or(2);
+    let keep: f64 = flag_value(&args, "--keep")
+        .map(|v| v.parse().expect("--keep takes a float"))
+        .unwrap_or(0.5);
+    let rho: f64 = flag_value(&args, "--rho")
+        .map(|v| v.parse().expect("--rho takes a float"))
+        .unwrap_or(2.0);
+    let arity: usize = flag_value(&args, "--arity")
+        .map(|v| v.parse().expect("--arity takes an integer"))
+        .unwrap_or(2);
+    let cfg = StreamConfig::new(0.75, budget)
+        .with_bundle_sizing(BundleSizing::Fixed(t))
+        .with_keep_probability(keep)
+        .with_rho(rho)
+        .with_arity(arity)
+        .with_seed(5);
+
+    let run = |cfg: &StreamConfig| -> StreamOutput {
+        let mut stream = StreamSparsifier::new(g.n(), cfg.clone());
+        for chunk in g.edges().chunks(batch_edges) {
+            stream.ingest_batch(chunk).expect("valid edges");
+        }
+        stream.finish()
+    };
+
+    let mut rows = Vec::new();
+    let mut baseline_ms = f64::NAN;
+    for &threads in &thread_counts {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let (out, stream_ms) = pool.install(|| time_ms(|| run(&cfg)));
+        if baseline_ms.is_nan() {
+            baseline_ms = stream_ms;
+        }
+        let mut row = Row::new(format!("threads = {threads}"))
+            .push("threads", threads as f64)
+            .push("stream_sparsify_ms", stream_ms)
+            .push("stream_speedup", baseline_ms / stream_ms)
+            .push("peak_resident_edges", out.stats.peak_resident_edges as f64)
+            .push("budget_edges", budget as f64)
+            .push("m_out", out.sparsifier.m() as f64)
+            .push("leaves", out.stats.leaves as f64)
+            .push("forced", out.stats.forced_reductions as f64)
+            .push("depth", out.stats.final_depth as f64)
+            .push("eps_spent", out.stats.epsilon_spent())
+            .push("work_ops", out.stats.total_work() as f64);
+        if verify {
+            let bounds = approximation_bounds(&g, &out.sparsifier, &CertifyOptions::default());
+            row = row
+                .push("bound_lower", bounds.lower)
+                .push("bound_upper", bounds.upper)
+                .push("achieved_eps", bounds.epsilon());
+        }
+        rows.push(row);
+    }
+    print_table(
+        "E8: semi-streaming sparsification — wall clock vs threads at a fixed memory budget",
+        &rows,
+    );
+    println!(
+        "peak_resident_edges, m_out and the ε ledger are identical across rows (the engine\n\
+         is thread-count and batch-chop deterministic); only the wall clock changes."
+    );
+
+    if let Some(path) = flag_value(&args, "--json-out") {
+        let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
+        std::fs::write(&path, json).expect("writing --json-out file");
+        println!("rows written to {path}");
+    }
+    if let Some(path) = flag_value(&args, "--bench-json") {
+        let snapshot = BenchSnapshot {
+            bench: "exp_stream".to_string(),
+            workload: workload.label(),
+            graph_n: g.n(),
+            graph_m: g.m(),
+            host_cores: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            rows: rows.clone(),
+        };
+        let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
+        std::fs::write(&path, json).expect("writing --bench-json file");
+        println!("perf snapshot written to {path}");
+    }
+}

@@ -13,6 +13,9 @@
 //!   spirit of Kapralov–Panigrahi.
 //! * [`lst`] — the Remark 2 extension where spanning trees replace spanners inside the
 //!   bundle.
+//! * [`engine`] — a re-entrant [`SparsifyEngine`] that reuses the spanner engine's
+//!   `O(m)` scratch across calls, for batch pipelines (the `sgs-stream` merge-and-reduce
+//!   tree) that sparsify many graphs in sequence.
 //! * [`config`], [`stats`], [`verify`] — configuration, work accounting, and spectral
 //!   verification helpers shared by examples, tests and the benchmark harness.
 //!
@@ -36,6 +39,7 @@
 
 pub mod baselines;
 pub mod config;
+pub mod engine;
 pub mod lst;
 pub mod sample;
 pub mod sparsify;
@@ -43,6 +47,7 @@ pub mod stats;
 pub mod verify;
 
 pub use config::{BundleSizing, SparsifyConfig};
+pub use engine::SparsifyEngine;
 pub use sample::{edge_coin, parallel_sample, SampleOutput};
 pub use sparsify::{parallel_sparsify, SparsifyOutput};
 pub use stats::WorkStats;
@@ -54,6 +59,7 @@ pub mod prelude {
         effective_resistance_sparsify, spanner_oversampling_sparsify, uniform_sparsify,
     };
     pub use crate::config::{BundleSizing, SparsifyConfig};
+    pub use crate::engine::SparsifyEngine;
     pub use crate::lst::tree_bundle_sparsify;
     pub use crate::sample::{parallel_sample, SampleOutput};
     pub use crate::sparsify::{parallel_sparsify, SparsifyOutput};

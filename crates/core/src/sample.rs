@@ -17,7 +17,7 @@
 use rayon::prelude::*;
 
 use sgs_graph::{Edge, Graph};
-use sgs_spanner::{t_bundle, BundleConfig, SpannerConfig};
+use sgs_spanner::{t_bundle_on_engine, BundleConfig, SpannerConfig, SpannerEngine};
 
 use crate::config::SparsifyConfig;
 use crate::stats::WorkStats;
@@ -74,12 +74,25 @@ pub struct SampleOutput {
 /// `eps` is passed separately because `PARALLELSPARSIFY` calls this with the per-round
 /// accuracy `ε / ⌈log ρ⌉`.
 pub fn parallel_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> SampleOutput {
+    sample_on_engine(g, eps, cfg, &mut SpannerEngine::empty())
+}
+
+/// Re-entrant `PARALLELSAMPLE`: identical to [`parallel_sample`] but runs the bundle
+/// construction on a caller-owned [`SpannerEngine`], whose view/CSR/mask allocations
+/// are reused across calls. Batch pipelines ([`crate::SparsifyEngine`], `sgs-stream`)
+/// call this once per batch; outputs are byte-identical to the one-shot entry point.
+pub(crate) fn sample_on_engine(
+    g: &Graph,
+    eps: f64,
+    cfg: &SparsifyConfig,
+    spanner: &mut SpannerEngine,
+) -> SampleOutput {
     assert!(eps > 0.0, "epsilon must be positive");
     let n = g.n();
     let m = g.m();
     let t = cfg.bundle_sizing.resolve(n, eps);
 
-    // Step 1: the t-bundle spanner.
+    // Step 1: the t-bundle spanner, on the reusable engine.
     let bundle_cfg = BundleConfig {
         t,
         spanner: SpannerConfig {
@@ -88,7 +101,8 @@ pub fn parallel_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> SampleOutpu
             parallel: cfg.parallel,
         },
     };
-    let bundle = t_bundle(g, &bundle_cfg);
+    spanner.reset_from_graph(g);
+    let bundle = t_bundle_on_engine(spanner, &bundle_cfg);
 
     // Steps 2–3: keep the bundle, flip a coin for everything else. Each edge uses its
     // own counter-based coin ([`edge_coin`]) so the outcome is independent of thread

@@ -14,9 +14,10 @@
 //! geometrically.
 
 use sgs_graph::Graph;
+use sgs_spanner::SpannerEngine;
 
 use crate::config::SparsifyConfig;
-use crate::sample::parallel_sample;
+use crate::sample::sample_on_engine;
 use crate::stats::WorkStats;
 
 /// Output of `PARALLELSPARSIFY`.
@@ -49,29 +50,45 @@ impl SparsifyOutput {
 /// the entire graph and further rounds are no-ops (this mirrors the "threshold of
 /// applicability" discussion in Section 4 of the paper).
 pub fn parallel_sparsify(g: &Graph, cfg: &SparsifyConfig) -> SparsifyOutput {
+    sparsify_on_engine(g, cfg, &mut SpannerEngine::empty())
+}
+
+/// Re-entrant `PARALLELSPARSIFY`: identical to [`parallel_sparsify`] but every round's
+/// bundle construction reuses the caller's [`SpannerEngine`] allocations. This is the
+/// per-batch entry point of [`crate::SparsifyEngine`].
+pub(crate) fn sparsify_on_engine(
+    g: &Graph,
+    cfg: &SparsifyConfig,
+    spanner: &mut SpannerEngine,
+) -> SparsifyOutput {
     let rounds = cfg.rounds();
     let per_round_epsilon = cfg.per_round_epsilon();
     let n = g.n();
     let stop_threshold =
         (cfg.stop_below_nlogn_factor * n as f64 * (n.max(2) as f64).log2()).ceil() as usize;
 
-    let mut current = g.clone();
+    // `current` stays borrowed from the input until the first round produces an owned
+    // graph — the input is only cloned when no round executes (the output must own its
+    // edges either way), so per-batch callers never pay an O(m) copy of the input.
+    let mut current: Option<Graph> = None;
     let mut stats = WorkStats::default();
     let mut rounds_executed = 0usize;
 
     for round in 0..rounds {
-        if current.m() <= stop_threshold {
+        let cur: &Graph = current.as_ref().unwrap_or(g);
+        if cur.m() <= stop_threshold {
             break;
         }
         let mut round_cfg = cfg.clone();
         round_cfg.seed = cfg
             .seed
             .wrapping_add((round as u64).wrapping_mul(0x9E3779B97F4A7C15));
-        let out = parallel_sample(&current, per_round_epsilon, &round_cfg);
+        let out = sample_on_engine(cur, per_round_epsilon, &round_cfg, spanner);
         stats.absorb_round(&out.stats);
-        current = out.sparsifier;
+        current = Some(out.sparsifier);
         rounds_executed += 1;
     }
+    let current = current.unwrap_or_else(|| g.clone());
 
     // Record the final size as the last entry so experiments can read the full series.
     stats.edges_per_round.push(current.m());

@@ -120,19 +120,16 @@ impl Graph {
         self.edges.is_empty()
     }
 
-    /// Validates and appends an edge, returning its [`EdgeId`].
-    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<EdgeId> {
-        if u >= self.n {
-            return Err(GraphError::VertexOutOfRange {
-                vertex: u,
-                n: self.n,
-            });
+    /// Checks whether `(u, v, w)` is a valid edge for a graph on `n` vertices —
+    /// endpoints in range, no self-loop, weight strictly positive and finite. The
+    /// single source of truth for the edge invariant; [`Graph::add_edge`] and the
+    /// batch-validation paths (`io`, `sgs-stream`) all defer to it.
+    pub fn validate_edge(n: usize, u: NodeId, v: NodeId, w: f64) -> Result<()> {
+        if u >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: u, n });
         }
-        if v >= self.n {
-            return Err(GraphError::VertexOutOfRange {
-                vertex: v,
-                n: self.n,
-            });
+        if v >= n {
+            return Err(GraphError::VertexOutOfRange { vertex: v, n });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -140,6 +137,12 @@ impl Graph {
         if !(w.is_finite() && w > 0.0) {
             return Err(GraphError::NonPositiveWeight { weight: w });
         }
+        Ok(())
+    }
+
+    /// Validates and appends an edge, returning its [`EdgeId`].
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: f64) -> Result<EdgeId> {
+        Graph::validate_edge(self.n, u, v, w)?;
         let id = self.edges.len();
         self.edges.push(Edge { u, v, w });
         Ok(id)

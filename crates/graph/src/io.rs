@@ -11,13 +11,23 @@
 //!
 //! Vertices are 0-based. The format exists so experiments can be re-run on saved inputs
 //! and so the examples can exchange graphs with external tools.
+//!
+//! Two read paths are provided:
+//!
+//! * [`from_str`] / [`read_file`] — parse a whole graph. `read_file` streams the file
+//!   through a [`EdgeBatchReader`] line by line, so it never materialises the file as a
+//!   `String` (the edge list is the only `O(m)` allocation).
+//! * [`EdgeBatchReader`] — a chunked reader that yields validated edges in
+//!   caller-sized batches with `O(batch)` resident memory. This is the ingestion path of
+//!   the semi-streaming sparsifier (`sgs-stream`), which never holds the whole input.
 
 use std::fmt::Write as _;
 use std::fs;
+use std::io::{BufRead, BufReader};
 use std::path::Path;
 
 use crate::error::{GraphError, Result};
-use crate::graph::Graph;
+use crate::graph::{Edge, Graph};
 
 /// Serializes a graph into the edge-list text format.
 pub fn to_string(g: &Graph) -> String {
@@ -29,46 +39,69 @@ pub fn to_string(g: &Graph) -> String {
     s
 }
 
+/// True for lines the format ignores: blank lines and `#` comments.
+fn is_skippable(line: &str) -> bool {
+    line.is_empty() || line.starts_with('#')
+}
+
+/// Parses the `n m` header line. `line_no` is 1-based and used in error positions.
+fn parse_header(line: &str, line_no: usize) -> Result<(usize, usize)> {
+    let mut parts = line.split_whitespace();
+    let n: usize = parts
+        .next()
+        .ok_or_else(|| GraphError::Parse(format!("line {line_no}: missing n")))?
+        .parse()
+        .map_err(|e| GraphError::Parse(format!("line {line_no}: bad n: {e}")))?;
+    let m: usize = parts
+        .next()
+        .ok_or_else(|| GraphError::Parse(format!("line {line_no}: missing m")))?
+        .parse()
+        .map_err(|e| GraphError::Parse(format!("line {line_no}: bad m: {e}")))?;
+    Ok((n, m))
+}
+
+/// Parses and validates one `u v [w]` edge line against a graph on `n` vertices.
+/// `line_no` is 1-based; every error message carries it so malformed lines in large
+/// files can be located without re-parsing.
+fn parse_edge(line: &str, line_no: usize, n: usize) -> Result<Edge> {
+    let mut parts = line.split_whitespace();
+    let u: usize = parts
+        .next()
+        .ok_or_else(|| GraphError::Parse(format!("line {line_no}: missing u")))?
+        .parse()
+        .map_err(|e| GraphError::Parse(format!("line {line_no}: bad u: {e}")))?;
+    let v: usize = parts
+        .next()
+        .ok_or_else(|| GraphError::Parse(format!("line {line_no}: missing v")))?
+        .parse()
+        .map_err(|e| GraphError::Parse(format!("line {line_no}: bad v: {e}")))?;
+    let w: f64 = match parts.next() {
+        Some(tok) => tok
+            .parse()
+            .map_err(|e| GraphError::Parse(format!("line {line_no}: bad w: {e}")))?,
+        None => 1.0,
+    };
+    if let Err(e) = Graph::validate_edge(n, u, v, w) {
+        return Err(GraphError::Parse(format!("line {line_no}: {e}")));
+    }
+    Ok(Edge { u, v, w })
+}
+
 /// Parses a graph from the edge-list text format.
 pub fn from_str(text: &str) -> Result<Graph> {
     let mut lines = text
         .lines()
         .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'));
-    let header = lines
+        .enumerate()
+        .filter(|(_, l)| !is_skippable(l));
+    let (header_no, header) = lines
         .next()
         .ok_or_else(|| GraphError::Parse("missing header line".into()))?;
-    let mut parts = header.split_whitespace();
-    let n: usize = parts
-        .next()
-        .ok_or_else(|| GraphError::Parse("missing n".into()))?
-        .parse()
-        .map_err(|e| GraphError::Parse(format!("bad n: {e}")))?;
-    let m: usize = parts
-        .next()
-        .ok_or_else(|| GraphError::Parse("missing m".into()))?
-        .parse()
-        .map_err(|e| GraphError::Parse(format!("bad m: {e}")))?;
+    let (n, m) = parse_header(header, header_no + 1)?;
     let mut g = Graph::with_capacity(n, m);
-    for (i, line) in lines.enumerate() {
-        let mut parts = line.split_whitespace();
-        let u: usize = parts
-            .next()
-            .ok_or_else(|| GraphError::Parse(format!("edge {i}: missing u")))?
-            .parse()
-            .map_err(|e| GraphError::Parse(format!("edge {i}: bad u: {e}")))?;
-        let v: usize = parts
-            .next()
-            .ok_or_else(|| GraphError::Parse(format!("edge {i}: missing v")))?
-            .parse()
-            .map_err(|e| GraphError::Parse(format!("edge {i}: bad v: {e}")))?;
-        let w: f64 = match parts.next() {
-            Some(tok) => tok
-                .parse()
-                .map_err(|e| GraphError::Parse(format!("edge {i}: bad w: {e}")))?,
-            None => 1.0,
-        };
-        g.add_edge(u, v, w)?;
+    for (i, line) in lines {
+        let e = parse_edge(line, i + 1, n)?;
+        g.push_edge_unchecked(e.u, e.v, e.w);
     }
     if g.m() != m {
         return Err(GraphError::Parse(format!(
@@ -79,6 +112,122 @@ pub fn from_str(text: &str) -> Result<Graph> {
     Ok(g)
 }
 
+/// A buffered, chunked reader over the edge-list text format.
+///
+/// The header is parsed eagerly by [`EdgeBatchReader::new`]; edges are then pulled in
+/// caller-sized batches via [`EdgeBatchReader::next_batch`], validated (endpoint range,
+/// self-loops, weight positivity) with 1-based line positions in every error. Resident
+/// memory is one line buffer plus whatever batch vector the caller supplies — the file
+/// is never materialised, which is what lets `sgs-stream` sparsify graphs larger than
+/// RAM from disk.
+#[derive(Debug)]
+pub struct EdgeBatchReader<R> {
+    src: R,
+    /// Reused line buffer; cleared before every read, never reallocated in steady state.
+    line: String,
+    /// 1-based number of the last line read.
+    line_no: usize,
+    n: usize,
+    declared_edges: usize,
+    edges_read: usize,
+    done: bool,
+}
+
+impl EdgeBatchReader<BufReader<fs::File>> {
+    /// Opens a file and parses its header.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        EdgeBatchReader::new(BufReader::new(fs::File::open(path)?))
+    }
+}
+
+impl<R: BufRead> EdgeBatchReader<R> {
+    /// Wraps any buffered reader and parses the header (comments and blank lines are
+    /// skipped, as in [`from_str`]).
+    pub fn new(src: R) -> Result<Self> {
+        let mut reader = EdgeBatchReader {
+            src,
+            line: String::new(),
+            line_no: 0,
+            n: 0,
+            declared_edges: 0,
+            edges_read: 0,
+            done: false,
+        };
+        let header_no = match reader.next_content_line()? {
+            Some(no) => no,
+            None => return Err(GraphError::Parse("missing header line".into())),
+        };
+        let (n, m) = parse_header(reader.line.trim(), header_no)?;
+        reader.n = n;
+        reader.declared_edges = m;
+        Ok(reader)
+    }
+
+    /// Number of vertices, from the header.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges the header declared.
+    pub fn declared_edges(&self) -> usize {
+        self.declared_edges
+    }
+
+    /// Number of edges yielded so far.
+    pub fn edges_read(&self) -> usize {
+        self.edges_read
+    }
+
+    /// Reads the next non-skippable line into `self.line`; returns its 1-based number,
+    /// or `None` at end of input.
+    fn next_content_line(&mut self) -> Result<Option<usize>> {
+        loop {
+            self.line.clear();
+            let bytes = self.src.read_line(&mut self.line)?;
+            if bytes == 0 {
+                return Ok(None);
+            }
+            self.line_no += 1;
+            if !is_skippable(self.line.trim()) {
+                return Ok(Some(self.line_no));
+            }
+        }
+    }
+
+    /// Appends up to `max_edges` validated edges to `out`, returning how many were
+    /// appended. Returns `Ok(0)` exactly once the stream is exhausted; at that point
+    /// the total count is checked against the header's declared edge count.
+    /// `max_edges` must be positive — `Ok(0)` is reserved for end-of-stream, so a
+    /// zero-sized batch request would be indistinguishable from exhaustion.
+    pub fn next_batch(&mut self, max_edges: usize, out: &mut Vec<Edge>) -> Result<usize> {
+        assert!(max_edges > 0, "max_edges must be positive");
+        if self.done {
+            return Ok(0);
+        }
+        let mut appended = 0usize;
+        while appended < max_edges {
+            let line_no = match self.next_content_line()? {
+                Some(no) => no,
+                None => {
+                    self.done = true;
+                    if self.edges_read != self.declared_edges {
+                        return Err(GraphError::Parse(format!(
+                            "header declared {} edges but {} were read",
+                            self.declared_edges, self.edges_read
+                        )));
+                    }
+                    break;
+                }
+            };
+            let e = parse_edge(self.line.trim(), line_no, self.n)?;
+            out.push(e);
+            self.edges_read += 1;
+            appended += 1;
+        }
+        Ok(appended)
+    }
+}
+
 /// Writes a graph to a file in the edge-list text format.
 pub fn write_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
     fs::write(path, to_string(g))?;
@@ -86,9 +235,25 @@ pub fn write_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
 }
 
 /// Reads a graph from a file in the edge-list text format.
+///
+/// Streams the file through an [`EdgeBatchReader`]: peak memory is the output edge list
+/// plus one line buffer, not file-size + edge-list as with `fs::read_to_string`.
 pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
-    let text = fs::read_to_string(path)?;
-    from_str(&text)
+    let mut reader = EdgeBatchReader::open(path)?;
+    let mut g = Graph::with_capacity(reader.n(), reader.declared_edges());
+    // The reader validates every edge, so they can be moved in unchecked; batches keep
+    // the transient buffer small without a per-edge function-call round trip.
+    let mut batch: Vec<Edge> = Vec::with_capacity(reader.declared_edges().min(16 * 1024));
+    loop {
+        batch.clear();
+        if reader.next_batch(16 * 1024, &mut batch)? == 0 {
+            break;
+        }
+        for e in &batch {
+            g.push_edge_unchecked(e.u, e.v, e.w);
+        }
+    }
+    Ok(g)
 }
 
 #[cfg(test)]
@@ -140,5 +305,71 @@ mod tests {
         let h = read_file(&path).unwrap();
         assert_eq!(g.edges(), h.edges());
         assert!(read_file(dir.join("missing.txt")).is_err());
+    }
+
+    #[test]
+    fn batch_reader_streams_the_whole_graph_in_chunks() {
+        let g = generators::erdos_renyi_weighted(60, 0.2, 0.5, 3.0, 9);
+        let text = to_string(&g);
+        let mut reader = EdgeBatchReader::new(text.as_bytes()).unwrap();
+        assert_eq!(reader.n(), g.n());
+        assert_eq!(reader.declared_edges(), g.m());
+        let mut edges = Vec::new();
+        let mut batches = 0usize;
+        loop {
+            let got = reader.next_batch(7, &mut edges).unwrap();
+            if got == 0 {
+                break;
+            }
+            assert!(got <= 7);
+            batches += 1;
+        }
+        assert_eq!(edges.len(), g.m());
+        assert_eq!(reader.edges_read(), g.m());
+        assert_eq!(batches, g.m().div_ceil(7));
+        for (a, b) in g.edges().iter().zip(edges.iter()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert!((a.w - b.w).abs() < 1e-12 * a.w.abs().max(1.0));
+        }
+        // Exhausted readers keep returning 0 without erroring.
+        assert_eq!(reader.next_batch(7, &mut edges).unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_reader_reports_error_line_positions() {
+        // Line 1 comment, line 2 header, line 3 good edge, line 4 blank, line 5 bad.
+        let text = "# header comment\n4 3\n0 1 1.0\n\n2 zebra 1.0\n3 0 1.0\n";
+        let mut reader = EdgeBatchReader::new(text.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        let err = reader.next_batch(10, &mut out).unwrap_err();
+        assert!(
+            err.to_string().contains("line 5"),
+            "error should carry the 1-based line position: {err}"
+        );
+        assert_eq!(out.len(), 1, "edges before the bad line are still yielded");
+
+        // Out-of-range vertex and self-loop positions are reported too.
+        let bad_vertex = "2 1\n0 5 1.0\n";
+        let mut r = EdgeBatchReader::new(bad_vertex.as_bytes()).unwrap();
+        let err = r.next_batch(10, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("out of range"), "{err}");
+
+        let self_loop = "# c\n# c\n3 1\n1 1 1.0\n";
+        let mut r = EdgeBatchReader::new(self_loop.as_bytes()).unwrap();
+        let err = r.next_batch(10, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+        assert!(err.to_string().contains("self-loop"), "{err}");
+
+        // The edge-count mismatch is detected at end of stream.
+        let short = "3 2\n0 1 1.0\n";
+        let mut r = EdgeBatchReader::new(short.as_bytes()).unwrap();
+        let err = r.next_batch(10, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("declared 2"), "{err}");
+
+        // Bad headers fail at construction, with position.
+        assert!(EdgeBatchReader::new("".as_bytes()).is_err());
+        let err = EdgeBatchReader::new("# x\nnope 3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
     }
 }

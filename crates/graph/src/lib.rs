@@ -17,7 +17,9 @@
 //!   notation in Section 2.
 //! * [`stretch`] — stretch computations `st_H(e)` (Section 2, "Stretch") needed to verify
 //!   the spanner guarantees of Theorems 1 and 2.
-//! * [`connectivity`], [`traversal`], [`io`] — supporting utilities.
+//! * [`connectivity`], [`traversal`], [`io`] — supporting utilities. [`io`] includes
+//!   [`io::EdgeBatchReader`], a chunked edge-list reader with `O(batch)` resident
+//!   memory that feeds the semi-streaming sparsifier (`sgs-stream`).
 //!
 //! All randomized constructions take an explicit seed so that parallel runs are
 //! reproducible.
@@ -50,8 +52,10 @@ pub mod prelude {
     pub use crate::error::{GraphError, Result};
     pub use crate::generators;
     pub use crate::graph::{Edge, EdgeId, Graph, NodeId};
+    pub use crate::io::EdgeBatchReader;
     pub use crate::metrics::{conductance, cut_weight, degree_stats};
     pub use crate::ops;
+    pub use crate::ops::{merge_union, merge_union_many};
     pub use crate::stretch::{edge_stretch, max_stretch, stretch_of_all_edges};
     pub use crate::traversal::{bfs_distances, dijkstra, dijkstra_resistance};
 }

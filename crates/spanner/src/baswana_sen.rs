@@ -123,36 +123,51 @@ const VERTEX_BLOCK: usize = 256;
 ///
 /// Edge indices are `u32`; views are capped at `u32::MAX / 2` edges (the `indices`
 /// array stores every edge twice), which `build` asserts.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct ViewCsr {
     offsets: Vec<u32>,
     indices: Vec<u32>,
+    /// Scratch for the counting-sort write cursors, kept so [`ViewCsr::rebuild`] is
+    /// allocation-free in steady state (batch engines rebuild the same CSR per batch).
+    cursor: Vec<u32>,
 }
 
 impl ViewCsr {
     /// Builds the incidence structure with a two-pass counting sort.
     pub fn build(n: usize, view: &[EdgeView]) -> ViewCsr {
+        let mut csr = ViewCsr::default();
+        csr.rebuild(n, view);
+        csr
+    }
+
+    /// Rebuilds the incidence structure in place over a new view, reusing the existing
+    /// `offsets`/`indices`/`cursor` allocations. Semantically identical to
+    /// [`ViewCsr::build`]; the re-entrant sparsify engine calls this once per batch
+    /// instead of allocating three fresh vectors.
+    pub fn rebuild(&mut self, n: usize, view: &[EdgeView]) {
         assert!(
             view.len() <= (u32::MAX / 2) as usize,
             "edge view too large for u32 CSR indices"
         );
-        let mut offsets = vec![0u32; n + 1];
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
         for &(_, u, v, _) in view {
-            offsets[u + 1] += 1;
-            offsets[v + 1] += 1;
+            self.offsets[u + 1] += 1;
+            self.offsets[v + 1] += 1;
         }
         for i in 0..n {
-            offsets[i + 1] += offsets[i];
+            self.offsets[i + 1] += self.offsets[i];
         }
-        let mut cursor = offsets.clone();
-        let mut indices = vec![0u32; 2 * view.len()];
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets[..n]);
+        self.indices.clear();
+        self.indices.resize(2 * view.len(), 0);
         for (idx, &(_, u, v, _)) in view.iter().enumerate() {
-            indices[cursor[u] as usize] = idx as u32;
-            cursor[u] += 1;
-            indices[cursor[v] as usize] = idx as u32;
-            cursor[v] += 1;
+            self.indices[self.cursor[u] as usize] = idx as u32;
+            self.cursor[u] += 1;
+            self.indices[self.cursor[v] as usize] = idx as u32;
+            self.cursor[v] += 1;
         }
-        ViewCsr { offsets, indices }
     }
 
     /// The incident edge indices of `v` (ascending).
@@ -694,13 +709,40 @@ impl SpannerEngine {
 
     /// Builds an engine over all edges of `g` (view ids = graph edge ids).
     pub fn from_graph(g: &Graph) -> SpannerEngine {
-        let view: Vec<EdgeView> = g
-            .edges()
-            .iter()
-            .enumerate()
-            .map(|(id, e)| (id, e.u, e.v, e.w))
-            .collect();
-        SpannerEngine::new(g.n(), view)
+        let mut engine = SpannerEngine::empty();
+        engine.reset_from_graph(g);
+        engine
+    }
+
+    /// Creates an engine with no view and no allocations; combine with
+    /// [`SpannerEngine::reset_from_graph`] for reuse across many graphs.
+    pub fn empty() -> SpannerEngine {
+        SpannerEngine {
+            n: 0,
+            view: Vec::new(),
+            csr: ViewCsr::default(),
+            state: EngineState::default(),
+        }
+    }
+
+    /// Re-targets the engine at `g`, reusing every internal allocation (view, CSR
+    /// offsets/indices, per-run masks). After this call the engine is in exactly the
+    /// state [`SpannerEngine::from_graph`] would produce — batch pipelines
+    /// (`sgs-stream`) call this once per batch so steady-state sparsification performs
+    /// no `O(m)` engine allocations.
+    pub fn reset_from_graph(&mut self, g: &Graph) {
+        self.n = g.n();
+        self.view.clear();
+        self.view.extend(
+            g.edges()
+                .iter()
+                .enumerate()
+                .map(|(id, e)| (id, e.u, e.v, e.w)),
+        );
+        self.csr.rebuild(self.n, &self.view);
+        // Stale in_spanner state from a previous run must not leak into a `peel` on the
+        // new view; `spanner`/`run_spanner` resize it, but clear defensively.
+        self.state.in_spanner.clear();
     }
 
     /// Number of edges currently in the view.

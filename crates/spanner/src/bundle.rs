@@ -105,14 +105,27 @@ impl BundleResult {
 /// runs out of edges (every edge is then in the bundle, and the Lemma 1 certificate is
 /// vacuously unnecessary).
 pub fn t_bundle(g: &Graph, cfg: &BundleConfig) -> BundleResult {
-    let m = g.m();
-    let mut in_bundle = vec![false; m];
-    let mut components = Vec::with_capacity(cfg.t);
-    let mut work = 0u64;
-
     // One engine for the whole bundle: the CSR incidence is compacted in place as
     // components are peeled off, never rebuilt.
     let mut engine = SpannerEngine::from_graph(g);
+    t_bundle_on_engine(&mut engine, cfg)
+}
+
+/// Computes a t-bundle on an engine that has already been pointed at the graph (via
+/// [`SpannerEngine::from_graph`] / [`SpannerEngine::reset_from_graph`]).
+///
+/// This is the re-entrant entry used by batch pipelines: the engine's view/CSR/mask
+/// allocations survive across calls, so repeated bundles over a stream of graphs stop
+/// paying the `O(m)` setup allocation per call. The engine's view is consumed
+/// (compacted) exactly as by [`t_bundle`]; results are byte-identical.
+pub fn t_bundle_on_engine(engine: &mut SpannerEngine, cfg: &BundleConfig) -> BundleResult {
+    let m = engine.m();
+    let mut in_bundle = vec![false; m];
+    // Every component consumes at least one edge, so at most `m` of the `t` requested
+    // components can materialise — never preallocate by raw `t` (the paper sizing at
+    // tiny ε resolves to astronomically large `t`).
+    let mut components = Vec::with_capacity(cfg.t.min(m));
+    let mut work = 0u64;
 
     for i in 0..cfg.t {
         if engine.is_empty() {
@@ -241,6 +254,30 @@ mod tests {
         assert_eq!(b.bundle_size, 0);
         assert!(b.components.is_empty());
         assert_eq!(b.off_bundle_count(), g.m());
+    }
+
+    #[test]
+    fn reused_engine_is_byte_identical_to_fresh_engine() {
+        // A single engine reset across a sequence of different graphs must reproduce
+        // exactly what a fresh engine per graph produces — this is the contract the
+        // re-entrant sparsify path (`SparsifyEngine` / `sgs-stream`) relies on.
+        let graphs = [
+            generators::erdos_renyi(150, 0.2, 1.0, 3),
+            generators::complete(50, 1.0),
+            generators::grid2d(12, 12, 1.0),
+            generators::erdos_renyi(200, 0.1, 1.0, 8),
+        ];
+        let cfg = BundleConfig::new(3).with_seed(17);
+        let mut engine = crate::SpannerEngine::empty();
+        for g in &graphs {
+            engine.reset_from_graph(g);
+            let reused = t_bundle_on_engine(&mut engine, &cfg);
+            let fresh = t_bundle(g, &cfg);
+            assert_eq!(reused.in_bundle, fresh.in_bundle);
+            assert_eq!(reused.components, fresh.components);
+            assert_eq!(reused.bundle_size, fresh.bundle_size);
+            assert_eq!(reused.work, fresh.work);
+        }
     }
 
     #[test]

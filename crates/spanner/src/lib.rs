@@ -28,7 +28,7 @@ pub use baswana_sen::{
     baswana_sen_on_view, baswana_sen_spanner, EdgeView, SpannerConfig, SpannerEngine,
     SpannerResult, ViewCsr,
 };
-pub use bundle::{t_bundle, BundleConfig, BundleResult};
+pub use bundle::{t_bundle, t_bundle_on_engine, BundleConfig, BundleResult};
 pub use greedy::greedy_spanner;
 
 /// Default stretch target `2 ⌈log₂ n⌉` used when the caller does not override `k`.

@@ -1,0 +1,254 @@
+//! Configuration of the semi-streaming sparsifier.
+
+use sgs_core::{BundleSizing, SparsifyConfig};
+
+/// SplitMix64 finalizer (same mix as `sgs_core::sample`): full 64-bit avalanche.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    z
+}
+
+/// Configuration of a [`crate::StreamSparsifier`].
+///
+/// The two primary knobs are the end-to-end accuracy `epsilon` (`ε_total`) and the
+/// resident-memory budget `budget_edges`; everything else tunes the shape of the
+/// merge-and-reduce tree and is forwarded to the per-reduction `PARALLELSPARSIFY`
+/// calls.
+///
+/// ## The ε-budget schedule
+///
+/// Every reduction at application depth `j` (leaves are `j = 0`, a merge of depth-`j`
+/// nodes is application `j + 1`) runs `PARALLELSPARSIFY` at accuracy
+///
+/// ```text
+/// ε_j = ε_total · (1 − r) · r^j          (r = level_ratio, default 1/2)
+/// ```
+///
+/// so a node at depth `d` approximates the union of its raw edges within
+/// `Π_{j<d} (1 ± ε_j)`, and because `Σ_{j≥0} ε_j = ε_total` the final sparsifier is a
+/// `(1 ± ε_total)`-ish approximation of the whole stream at **any** tree depth — the
+/// schedule never runs out, so the guarantee survives forced (budget-pressure)
+/// reductions that deepen the tree beyond `log_arity(#leaves)`. (Formally
+/// `Π(1+ε_j) ≤ e^{ε_total}` and `Π(1−ε_j) ≥ 1 − ε_total`; for small `ε_total` these
+/// are the usual `(1 ± ε_total)` bounds, the same first-order composition the paper
+/// uses when `PARALLELSPARSIFY` splits `ε` across its `⌈log ρ⌉` rounds.)
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// End-to-end accuracy target `ε_total` in `(0, 1]`.
+    pub epsilon: f64,
+    /// Resident-edge budget: the engine keeps (buffer + pending sparsifiers) at or
+    /// under this many edges, forcing extra reductions when sparsifiers alone would
+    /// exceed `budget_edges − leaf_capacity()`.
+    pub budget_edges: usize,
+    /// Merge fan-in `k` of the reduce tree (how many same-depth sparsifiers are
+    /// unioned per reduction). Must be ≥ 2.
+    pub arity: usize,
+    /// Sparsification factor `ρ` forwarded to each `PARALLELSPARSIFY` reduction.
+    pub rho: f64,
+    /// Geometric ratio `r ∈ (0, 1)` of the per-depth ε schedule (see the type docs).
+    pub level_ratio: f64,
+    /// Bundle sizing rule forwarded to every reduction. As everywhere in this repo,
+    /// [`BundleSizing::Paper`] gives the provable constants (and swallows practical
+    /// graphs whole), the default scaled rule gives practical compression.
+    pub bundle_sizing: BundleSizing,
+    /// Off-bundle keep probability forwarded to every reduction.
+    pub keep_probability: f64,
+    /// Base RNG seed; every reduction derives its own seed from (depth, index), so
+    /// results depend only on the edge stream and this value.
+    pub seed: u64,
+    /// Run the per-reduction sparsification under rayon.
+    pub parallel: bool,
+    /// Early-stop threshold forwarded to every reduction (`PARALLELSPARSIFY` leaves
+    /// graphs with at most this many times `n log₂ n` edges untouched).
+    pub stop_below_nlogn_factor: f64,
+}
+
+impl StreamConfig {
+    /// Creates a configuration with accuracy `ε_total` and a resident-edge budget,
+    /// with the same practical defaults as [`SparsifyConfig::new`] (scaled bundle,
+    /// keep probability 1/4, parallel on) plus a binary merge tree (`arity = 2`,
+    /// `r = 1/2`).
+    ///
+    /// Two defaults differ deliberately from the one-shot sparsifier: `ρ = 2` — each
+    /// reduction performs a *single* sampling round, because the tree itself supplies
+    /// the repeated halving and extra rounds per reduction would only compound
+    /// sampling error — and `stop_below_nlogn_factor = 0.5`, because a streaming
+    /// engine must keep compressing down toward its memory budget where the one-shot
+    /// default (2.0) would declare leaf-sized graphs "sparse enough" and stack them
+    /// uncompressed.
+    pub fn new(epsilon: f64, budget_edges: usize) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0, 1]");
+        assert!(budget_edges >= 2, "budget_edges must be at least 2");
+        StreamConfig {
+            epsilon,
+            budget_edges,
+            arity: 2,
+            rho: 2.0,
+            level_ratio: 0.5,
+            bundle_sizing: BundleSizing::Scaled(0.5),
+            keep_probability: 0.25,
+            seed: 0xC0FFEE,
+            parallel: true,
+            stop_below_nlogn_factor: 0.5,
+        }
+    }
+
+    /// Overrides the merge fan-in (must be ≥ 2).
+    pub fn with_arity(mut self, arity: usize) -> Self {
+        assert!(arity >= 2, "arity must be at least 2");
+        self.arity = arity;
+        self
+    }
+
+    /// Overrides the per-reduction sparsification factor `ρ` (must be ≥ 1).
+    pub fn with_rho(mut self, rho: f64) -> Self {
+        assert!(rho >= 1.0, "rho must be at least 1");
+        self.rho = rho;
+        self
+    }
+
+    /// Overrides the geometric ε-schedule ratio (must be in `(0, 1)`).
+    pub fn with_level_ratio(mut self, r: f64) -> Self {
+        assert!(r > 0.0 && r < 1.0, "level ratio must be in (0, 1)");
+        self.level_ratio = r;
+        self
+    }
+
+    /// Overrides the bundle sizing rule.
+    pub fn with_bundle_sizing(mut self, sizing: BundleSizing) -> Self {
+        self.bundle_sizing = sizing;
+        self
+    }
+
+    /// Overrides the off-bundle keep probability (must be in `(0, 1)`).
+    pub fn with_keep_probability(mut self, p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "keep probability must be in (0, 1)");
+        self.keep_probability = p;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables or disables rayon parallelism inside reductions.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Maximum raw edges buffered before a leaf reduction fires: half the budget (the
+    /// other half is reserved for the pending sparsifiers of the tree).
+    ///
+    /// The actual trigger is adaptive — a leaf fires as soon as
+    /// `2·buffer + resident_sparsifiers ≥ budget_edges` (with the buffer at least
+    /// [`StreamConfig::min_leaf_edges`]), so the resident census through a leaf
+    /// reduction never exceeds the budget: the output of a reduction is never larger
+    /// than its input, hence `buffer + resident + leaf_output ≤ 2·buffer + resident`.
+    /// Both trigger inputs are deterministic functions of the stream position alone —
+    /// never of how the caller chopped the stream into batches — which is what makes
+    /// fixed-seed output identical for 1 batch and for 1000 batches of the same edge
+    /// sequence.
+    pub fn leaf_capacity(&self) -> usize {
+        (self.budget_edges / 2).max(1)
+    }
+
+    /// Minimum leaf size (an eighth of the budget): prevents degenerate one-edge
+    /// leaves when the pending sparsifiers cannot be compressed below the budget
+    /// (budgets under the spectral-sparsity floor `~n log n` run in this degraded
+    /// mode — the engine still works, with resident memory pinned at the floor).
+    pub fn min_leaf_edges(&self) -> usize {
+        (self.budget_edges / 8).max(1)
+    }
+
+    /// The ε spent by a reduction at application depth `j` (see the type docs).
+    pub fn level_epsilon(&self, j: usize) -> f64 {
+        let eps = self.epsilon * (1.0 - self.level_ratio) * self.level_ratio.powi(j as i32);
+        // Very deep (forced) chains would underflow to 0, which SparsifyConfig
+        // rejects; clamp to a subnormal-free floor. ε this small is pure accounting.
+        eps.max(1e-300)
+    }
+
+    /// The `SparsifyConfig` for reduction number `index` at application depth `j`.
+    pub(crate) fn reduction_config(&self, j: usize, index: u64) -> SparsifyConfig {
+        let mut cfg = SparsifyConfig::new(self.level_epsilon(j).min(1.0), self.rho)
+            .with_bundle_sizing(self.bundle_sizing)
+            .with_keep_probability(self.keep_probability)
+            .with_parallel(self.parallel)
+            .with_seed(splitmix64(
+                splitmix64(self.seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ index,
+            ));
+        cfg.stop_below_nlogn_factor = self.stop_below_nlogn_factor;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_schedule_sums_to_epsilon_total() {
+        let cfg = StreamConfig::new(0.8, 1000);
+        let sum: f64 = (0..200).map(|j| cfg.level_epsilon(j)).sum();
+        assert!(sum <= 0.8 + 1e-9, "schedule overspends: {sum}");
+        assert!(
+            sum > 0.8 - 1e-6,
+            "schedule should converge to ε_total: {sum}"
+        );
+        // Geometric decay with the configured ratio.
+        assert!((cfg.level_epsilon(1) / cfg.level_epsilon(0) - 0.5).abs() < 1e-12);
+        let custom = StreamConfig::new(0.8, 1000).with_level_ratio(0.25);
+        assert!((custom.level_epsilon(1) / custom.level_epsilon(0) - 0.25).abs() < 1e-12);
+        // Deep levels never reach zero (SparsifyConfig would reject it).
+        assert!(cfg.level_epsilon(5000) > 0.0);
+    }
+
+    #[test]
+    fn leaf_capacity_is_half_the_budget() {
+        assert_eq!(StreamConfig::new(0.5, 1000).leaf_capacity(), 500);
+        assert_eq!(StreamConfig::new(0.5, 3).leaf_capacity(), 1);
+        assert_eq!(StreamConfig::new(0.5, 2).leaf_capacity(), 1);
+    }
+
+    #[test]
+    fn reduction_configs_are_distinct_per_depth_and_index() {
+        let cfg = StreamConfig::new(0.5, 1000).with_seed(7);
+        let a = cfg.reduction_config(0, 0);
+        let b = cfg.reduction_config(0, 1);
+        let c = cfg.reduction_config(1, 0);
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(a.seed, c.seed);
+        assert_ne!(b.seed, c.seed);
+        assert!((a.epsilon - 0.25).abs() < 1e-12);
+        assert!((c.epsilon - 0.125).abs() < 1e-12);
+        // Deterministic.
+        assert_eq!(a.seed, cfg.reduction_config(0, 0).seed);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn rejects_bad_epsilon() {
+        let _ = StreamConfig::new(0.0, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_bad_arity() {
+        let _ = StreamConfig::new(0.5, 100).with_arity(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "level ratio")]
+    fn rejects_bad_level_ratio() {
+        let _ = StreamConfig::new(0.5, 100).with_level_ratio(1.0);
+    }
+}

@@ -1,0 +1,379 @@
+//! The bounded-memory merge-and-reduce sparsifier.
+
+use std::io::BufRead;
+use std::mem;
+
+use sgs_core::SparsifyEngine;
+use sgs_graph::io::EdgeBatchReader;
+use sgs_graph::{ops, Edge, Graph, Result};
+
+use crate::config::StreamConfig;
+use crate::stats::StreamStats;
+
+/// Result of a streaming run: the final sparsifier plus the accounting that backs the
+/// memory and accuracy claims.
+#[derive(Debug, Clone)]
+pub struct StreamOutput {
+    /// The end-to-end sparsifier of everything that was ingested.
+    pub sparsifier: Graph,
+    /// Peak-memory / ε-ledger / work accounting of the run.
+    pub stats: StreamStats,
+}
+
+/// A bounded-memory semi-streaming spectral sparsifier.
+///
+/// Edges arrive in arbitrary batches ([`ingest_batch`](Self::ingest_batch), an
+/// iterator/channel via [`ingest_iter`](Self::ingest_iter), or a file through
+/// [`ingest_reader`](Self::ingest_reader)); the engine buffers them up to the leaf
+/// capacity, sparsifies each full leaf, and folds the resulting sparsifiers through a
+/// merge-and-reduce tree: `arity` same-depth sparsifiers are unioned (weights of
+/// duplicate pairs accumulated, `sgs_graph::ops::merge_union_many`) and resparsified by
+/// `PARALLELSPARSIFY` at the depth's scheduled ε. This is exactly the composition rule
+/// the paper's `PARALLELSPARSIFY` uses across rounds — a sparsifier of a union of
+/// sparsifiers is a sparsifier of the union — applied across *space* instead of
+/// rounds, as in the distributed setting of Mendoza-Granada & Villagra
+/// (arXiv:2003.10612) and the resparsification framing of Spielman–Teng.
+///
+/// ## Determinism
+///
+/// Leaf boundaries fire on **stream position** (the adaptive trigger of
+/// `StreamConfig::leaf_capacity` reads only the buffer length and the pending-node
+/// census, both pure functions of how many edges have arrived), forced reductions fire
+/// on deterministic resident-edge counts, and every reduction's seed is derived from
+/// `(depth, index)` — so for a fixed seed the output is bitwise identical regardless
+/// of how the stream was chopped into batches *and* regardless of the rayon thread
+/// count (the per-reduction engine is thread-count deterministic).
+///
+/// ## Memory
+///
+/// Resident edges = leaf buffer + pending sparsifiers + in-flight merge unions. A
+/// leaf fires while `buffer + resident + leaf_output` still fits in the budget; after
+/// every leaf the engine forces extra reductions until pending sparsifiers fit in
+/// half the budget. The residual excursion above the budget is one in-flight
+/// union + its reduction output during the largest forced merge (observed ≲ one
+/// ingest batch on the benchmark workloads — see `exp_stream`), except when the
+/// budget sits below the spectral-sparsity floor `~t · n log n`, where pending
+/// sparsifiers simply cannot be compressed further and the census parks at the floor.
+/// [`StreamStats::peak_resident_edges`] records the observed maximum.
+#[derive(Debug)]
+pub struct StreamSparsifier {
+    cfg: StreamConfig,
+    n: usize,
+    /// Leaf buffer; its allocation is made once and recycled through every leaf graph.
+    buffer: Vec<Edge>,
+    /// `levels[j]` holds pending sparsifiers of application depth `j` (oldest first).
+    levels: Vec<Vec<Graph>>,
+    /// Total edges across all pending sparsifiers (`levels`), maintained incrementally.
+    resident_nodes: usize,
+    /// Re-entrant sparsifier (reused spanner view/CSR/masks across every reduction).
+    engine: SparsifyEngine,
+    /// Reused scratch for `merge_union_many`.
+    merge_scratch: Vec<Edge>,
+    stats: StreamStats,
+}
+
+impl StreamSparsifier {
+    /// Creates a streaming sparsifier over a fixed vertex set `0..n`.
+    pub fn new(n: usize, cfg: StreamConfig) -> StreamSparsifier {
+        let leaf_capacity = cfg.leaf_capacity();
+        StreamSparsifier {
+            cfg,
+            n,
+            buffer: Vec::with_capacity(leaf_capacity),
+            levels: Vec::new(),
+            resident_nodes: 0,
+            engine: SparsifyEngine::new(),
+            merge_scratch: Vec::new(),
+            stats: StreamStats::default(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// The running accounting.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Current resident-edge census: buffer plus pending sparsifiers.
+    pub fn resident_edges(&self) -> usize {
+        self.buffer.len() + self.resident_nodes
+    }
+
+    /// Number of pending sparsifiers across all tree levels.
+    pub fn pending_sparsifiers(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    fn validate(&self, e: &Edge) -> Result<()> {
+        Graph::validate_edge(self.n, e.u, e.v, e.w)
+    }
+
+    /// Ingests one batch of edges. The batch is validated up front, so on error
+    /// nothing is ingested. Batch boundaries are *only* an ingestion granularity —
+    /// they never influence the output (leaves fire on stream position).
+    pub fn ingest_batch(&mut self, edges: &[Edge]) -> Result<()> {
+        for e in edges {
+            self.validate(e)?;
+        }
+        self.stats.batches_ingested += 1;
+        for &e in edges {
+            self.push_edge(e);
+        }
+        Ok(())
+    }
+
+    /// Ingests edges from any iterator — including an `std::sync::mpsc::Receiver`,
+    /// which makes a channel a drop-in edge source. Counts as one batch; edges are
+    /// validated one by one, so on error the edges already consumed stay ingested.
+    /// Returns the number of edges ingested by this call.
+    pub fn ingest_iter<I: IntoIterator<Item = Edge>>(&mut self, edges: I) -> Result<u64> {
+        self.stats.batches_ingested += 1;
+        let mut count = 0u64;
+        for e in edges {
+            self.validate(&e)?;
+            self.push_edge(e);
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Drains an [`EdgeBatchReader`] in chunks of `batch_edges`, never holding more
+    /// than one chunk of raw input beyond the engine's own budget. Returns the number
+    /// of edges ingested.
+    pub fn ingest_reader<R: BufRead>(
+        &mut self,
+        reader: &mut EdgeBatchReader<R>,
+        batch_edges: usize,
+    ) -> Result<u64> {
+        assert!(batch_edges > 0, "batch_edges must be positive");
+        let mut chunk: Vec<Edge> = Vec::with_capacity(batch_edges);
+        let mut total = 0u64;
+        loop {
+            chunk.clear();
+            if reader.next_batch(batch_edges, &mut chunk)? == 0 {
+                break;
+            }
+            self.ingest_batch(&chunk)?;
+            total += chunk.len() as u64;
+        }
+        Ok(total)
+    }
+
+    fn push_edge(&mut self, e: Edge) {
+        self.buffer.push(e);
+        self.stats.edges_ingested += 1;
+        // Adaptive positional trigger (see StreamConfig::leaf_capacity): flush once
+        // the buffer could no longer be leaf-reduced within budget, but never below
+        // the minimum leaf size and never above half the budget. Every quantity here
+        // is a deterministic function of the stream position, so leaf boundaries are
+        // independent of the caller's batch chop.
+        let b = self.buffer.len();
+        let full = b >= self.cfg.leaf_capacity()
+            || (b >= self.cfg.min_leaf_edges()
+                && 2 * b + self.resident_nodes >= self.cfg.budget_edges);
+        if full {
+            self.flush_leaf();
+        }
+    }
+
+    fn note_peak(&mut self, resident: usize) {
+        if resident > self.stats.peak_resident_edges {
+            self.stats.peak_resident_edges = resident;
+        }
+    }
+
+    /// Sparsifies the current buffer into a depth-0 node, then restores the tree
+    /// invariants (fan-in cascade + budget enforcement).
+    fn flush_leaf(&mut self) {
+        debug_assert!(!self.buffer.is_empty());
+        let census = self.buffer.len() + self.resident_nodes;
+        self.note_peak(census);
+        let leaf = Graph::from_edges_unchecked(self.n, mem::take(&mut self.buffer));
+        let out = self.run_sparsify(&leaf, 0);
+        let census = leaf.m() + self.resident_nodes + out.m();
+        self.note_peak(census);
+        // Recycle the buffer allocation out of the leaf graph.
+        self.buffer = leaf.into_edges();
+        self.buffer.clear();
+        self.stats.leaves += 1;
+        self.push_node(0, out);
+        self.cascade();
+        self.enforce_budget();
+    }
+
+    /// Runs one `PARALLELSPARSIFY` reduction at application depth `j`, updating the
+    /// per-depth ledger.
+    fn run_sparsify(&mut self, g: &Graph, j: usize) -> Graph {
+        let eps = self.cfg.level_epsilon(j);
+        let index = self.stats.level_mut(j, eps).reductions;
+        let scfg = self.cfg.reduction_config(j, index);
+        let out = self.engine.sparsify(g, &scfg);
+        let level = self.stats.level_mut(j, eps);
+        level.reductions += 1;
+        level.edges_in += g.m() as u64;
+        level.edges_out += out.sparsifier.m() as u64;
+        level.spanner_work += out.stats.spanner_work;
+        level.sampling_work += out.stats.sampling_work;
+        out.sparsifier
+    }
+
+    fn push_node(&mut self, level: usize, g: Graph) {
+        while self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+        self.resident_nodes += g.m();
+        self.levels[level].push(g);
+    }
+
+    /// Merges a group of same-vertex-set sparsifiers and resparsifies the union at
+    /// application depth `j`, pushing the result to `levels[j]`.
+    ///
+    /// The union is built **in place**: each child is drained into the reused merge
+    /// scratch (and freed) before the next, the scratch is coalesced in place
+    /// ([`ops::coalesce_in_place`]), and the union graph takes ownership of the
+    /// scratch allocation (reclaimed after the reduction). The transient high-water
+    /// mark is therefore one copy of the group's edges, not two.
+    fn reduce_group(&mut self, group: Vec<Graph>, j: usize, forced: bool) {
+        debug_assert!(group.len() >= 2);
+        self.merge_scratch.clear();
+        self.merge_scratch
+            .reserve(group.iter().map(Graph::m).sum::<usize>());
+        for child in group {
+            for e in child.edges() {
+                let (u, v) = e.key();
+                self.merge_scratch.push(Edge { u, v, w: e.w });
+            }
+            self.resident_nodes -= child.m();
+            drop(child);
+        }
+        // Transient high-water mark: the uncoalesced union plus everything pending.
+        let census = self.buffer.len() + self.resident_nodes + self.merge_scratch.len();
+        self.note_peak(census);
+        ops::coalesce_in_place(&mut self.merge_scratch);
+        let union = Graph::from_edges_unchecked(self.n, mem::take(&mut self.merge_scratch));
+        let out = self.run_sparsify(&union, j);
+        let census = self.buffer.len() + self.resident_nodes + union.m() + out.m();
+        self.note_peak(census);
+        // Reclaim the scratch allocation from the union graph.
+        self.merge_scratch = union.into_edges();
+        self.merge_scratch.clear();
+        if forced {
+            self.stats.forced_reductions += 1;
+        }
+        self.push_node(j, out);
+    }
+
+    /// Reduces every level that has reached the configured fan-in, bottom-up.
+    fn cascade(&mut self) {
+        let mut i = 0;
+        while i < self.levels.len() {
+            if self.levels[i].len() >= self.cfg.arity {
+                let group = mem::take(&mut self.levels[i]);
+                self.reduce_group(group, i + 1, false);
+            }
+            i += 1;
+        }
+    }
+
+    /// Forces reductions until pending sparsifiers fit in the non-buffer half of the
+    /// budget (or a single sparsifier remains, at which point reduction cannot help).
+    fn enforce_budget(&mut self) {
+        let limit = self.cfg.budget_edges / 2;
+        while self.resident_nodes > limit {
+            if !self.force_reduce_once() {
+                break;
+            }
+        }
+    }
+
+    /// One budget-pressure reduction: merge the shallowest mergeable group. If the
+    /// shallowest non-empty level has a single node, it is merged into the next
+    /// non-empty level (charged at that level's ε — the schedule is infinite, so
+    /// depth growth never exhausts the ε budget). Returns false when fewer than two
+    /// sparsifiers are pending.
+    fn force_reduce_once(&mut self) -> bool {
+        let Some(a) = self.levels.iter().position(|l| !l.is_empty()) else {
+            return false;
+        };
+        if self.levels[a].len() >= 2 {
+            let group = mem::take(&mut self.levels[a]);
+            self.reduce_group(group, a + 1, true);
+            // The forced push may have filled a higher level to its fan-in.
+            self.cascade();
+            return true;
+        }
+        let Some(b) = self
+            .levels
+            .iter()
+            .enumerate()
+            .position(|(i, l)| i > a && !l.is_empty())
+        else {
+            return false;
+        };
+        // Chronological order: the deeper nodes hold older data, the shallow node the
+        // newest — merge oldest-first so float accumulation order tracks the stream.
+        let mut group = mem::take(&mut self.levels[b]);
+        group.extend(mem::take(&mut self.levels[a]));
+        self.reduce_group(group, b + 1, true);
+        self.cascade();
+        true
+    }
+
+    /// Flushes the trailing partial leaf and collapses the tree to a single
+    /// sparsifier, consuming the engine.
+    ///
+    /// The result approximates the Laplacian of the *entire* ingested multigraph
+    /// within the configured `ε_total` (see `StreamConfig` for the schedule math, and
+    /// [`StreamStats::epsilon_spent`] for the realized ledger).
+    pub fn finish(mut self) -> StreamOutput {
+        if !self.buffer.is_empty() {
+            self.flush_leaf();
+        }
+        loop {
+            let total = self.pending_sparsifiers();
+            if total <= 1 {
+                break;
+            }
+            let i = self
+                .levels
+                .iter()
+                .position(|l| !l.is_empty())
+                .expect("non-empty tree");
+            if self.levels[i].len() >= 2 {
+                let group = mem::take(&mut self.levels[i]);
+                self.reduce_group(group, i + 1, false);
+            } else {
+                // Promote the lone node without spending ε or work; it will be merged
+                // with the next level's group (conservatively skipping ε_{i+1}).
+                let node = self.levels[i].pop().expect("checked non-empty");
+                let m = node.m();
+                self.resident_nodes -= m;
+                self.push_node(i + 1, node);
+            }
+        }
+        let sparsifier = self
+            .levels
+            .iter_mut()
+            .find_map(|l| l.pop())
+            .unwrap_or_else(|| Graph::new(self.n));
+        self.stats.final_depth = self
+            .stats
+            .levels
+            .iter()
+            .rposition(|l| l.reductions > 0)
+            .map_or(0, |j| j + 1);
+        StreamOutput {
+            sparsifier,
+            stats: self.stats,
+        }
+    }
+}

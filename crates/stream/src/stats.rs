@@ -1,0 +1,118 @@
+//! Accounting for the merge-and-reduce tree.
+//!
+//! The streaming engine's contract is *bounded memory with a provable accuracy
+//! budget*; [`StreamStats`] carries the numbers that substantiate both halves — peak
+//! resident edges for the memory claim, and the per-depth ε/work ledger for the
+//! accuracy claim.
+
+/// Counters of one application depth of the reduce tree (depth 0 = leaf reductions,
+/// depth `j` = reductions whose inputs already went through `j` sparsifications).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LevelStats {
+    /// The ε spent by each reduction at this depth.
+    pub epsilon: f64,
+    /// Number of reductions run at this depth.
+    pub reductions: u64,
+    /// Total edges entering reductions at this depth (union sizes; raw edges for
+    /// leaves).
+    pub edges_in: u64,
+    /// Total edges surviving reductions at this depth.
+    pub edges_out: u64,
+    /// Spanner work (edge examinations) accumulated at this depth.
+    pub spanner_work: u64,
+    /// Sampling work (edges touched by coin flips) accumulated at this depth.
+    pub sampling_work: u64,
+}
+
+/// Aggregated counters for one streaming run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamStats {
+    /// Total edges ingested.
+    pub edges_ingested: u64,
+    /// Number of `ingest_*` calls (the caller's batching granularity — informational;
+    /// it never influences the output).
+    pub batches_ingested: u64,
+    /// Leaf reductions fired (full leaves during the stream plus at most one short
+    /// leaf at `finish`).
+    pub leaves: u64,
+    /// Reductions forced by budget pressure rather than a full fan-in.
+    pub forced_reductions: u64,
+    /// Maximum number of simultaneously resident edges observed: leaf buffer +
+    /// pending sparsifiers + in-flight merge unions. This is the number the
+    /// `budget_edges` knob bounds (engine workspace such as the spanner CSR is
+    /// proportional to the same quantity and not double-counted).
+    pub peak_resident_edges: usize,
+    /// Application depth of the final sparsifier (number of ε-schedule entries its
+    /// data passed through on the deepest path).
+    pub final_depth: usize,
+    /// Per-depth ledger, indexed by application depth.
+    pub levels: Vec<LevelStats>,
+}
+
+impl StreamStats {
+    /// The level entry for depth `j`, growing the ledger on first use.
+    pub(crate) fn level_mut(&mut self, j: usize, epsilon: f64) -> &mut LevelStats {
+        while self.levels.len() <= j {
+            self.levels.push(LevelStats::default());
+        }
+        let level = &mut self.levels[j];
+        level.epsilon = epsilon;
+        level
+    }
+
+    /// Total ε actually spent: the sum of the schedule entries of every depth where at
+    /// least one reduction *sampled* (reductions whose input was already below the
+    /// early-stop threshold return it unchanged, cost no accuracy, and are not
+    /// charged). Always at most the configured `ε_total` — this is the accounting side
+    /// of the end-to-end `(1 ± ε_total)` guarantee.
+    pub fn epsilon_spent(&self) -> f64 {
+        self.levels
+            .iter()
+            .filter(|l| l.sampling_work > 0)
+            .map(|l| l.epsilon)
+            .sum()
+    }
+
+    /// Total work proxy across all reductions (spanner + sampling operations), the
+    /// same measure as `sgs_core::WorkStats::total_work`.
+    pub fn total_work(&self) -> u64 {
+        self.levels
+            .iter()
+            .map(|l| l.spanner_work + l.sampling_work)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_grows_and_aggregates() {
+        let mut s = StreamStats::default();
+        {
+            let l0 = s.level_mut(0, 0.25);
+            l0.reductions += 2;
+            l0.spanner_work += 10;
+            l0.sampling_work += 5;
+        }
+        {
+            let l2 = s.level_mut(2, 0.0625);
+            l2.reductions += 1;
+            l2.sampling_work += 7;
+        }
+        assert_eq!(s.levels.len(), 3);
+        assert_eq!(s.levels[1].reductions, 0);
+        // Depth 1 never ran, so its ε is not spent.
+        assert!((s.epsilon_spent() - (0.25 + 0.0625)).abs() < 1e-12);
+        assert_eq!(s.total_work(), 22);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let s = StreamStats::default();
+        assert_eq!(s.epsilon_spent(), 0.0);
+        assert_eq!(s.total_work(), 0);
+        assert_eq!(s.peak_resident_edges, 0);
+    }
+}

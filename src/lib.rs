@@ -11,6 +11,8 @@
 //!   ([`sgs_linalg`]).
 //! * [`spanner`] — Baswana–Sen spanners and t-bundle spanners ([`sgs_spanner`]).
 //! * [`sparsify`] — PARALLELSAMPLE / PARALLELSPARSIFY and baselines ([`sgs_core`]).
+//! * [`stream`] — the bounded-memory semi-streaming sparsifier (merge-and-reduce over
+//!   edge batches, [`sgs_stream`]).
 //! * [`distributed`] — the synchronous CONGEST-style simulator ([`sgs_distributed`]).
 //! * [`solver`] — the Peng–Spielman-style SDD solver built on the sparsifier
 //!   ([`sgs_solver`]).
@@ -37,6 +39,7 @@ pub use sgs_graph as graph;
 pub use sgs_linalg as linalg;
 pub use sgs_solver as solver;
 pub use sgs_spanner as spanner;
+pub use sgs_stream as stream;
 
 /// Version string of the reproduction suite.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -14,6 +14,7 @@ use spectral_sparsify::spanner::{baswana_sen_spanner, t_bundle, BundleConfig, Sp
 use spectral_sparsify::sparsify::{
     parallel_sample, parallel_sparsify, BundleSizing, SparsifyConfig,
 };
+use spectral_sparsify::stream::{StreamConfig, StreamSparsifier};
 
 /// Runs `op` pinned to a pool of `threads` threads.
 fn on_pool<R>(threads: usize, op: impl FnOnce() -> R) -> R {
@@ -95,6 +96,34 @@ fn full_sparsifier_is_byte_identical_across_thread_counts() {
     let a = on_pool(1, || parallel_sparsify(&g, &cfg));
     let b = on_pool(4, || parallel_sparsify(&g, &cfg));
     assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+    assert_eq!(a.stats.total_work(), b.stats.total_work());
+}
+
+#[test]
+fn stream_sparsifier_is_identical_across_thread_counts() {
+    // Pins the semi-streaming engine end to end: every reduction runs on the
+    // deterministic rayon executor and every trigger (leaf boundary, cascade, forced
+    // reduction) is a function of the stream position — so edges, weights, AND the
+    // full StreamStats accounting must be byte-identical at any pool width.
+    let g = generators::erdos_renyi(350, 0.3, 1.0, 47);
+    let cfg = StreamConfig::new(0.75, g.m() / 3)
+        .with_bundle_sizing(BundleSizing::Fixed(2))
+        .with_seed(13);
+    let run = || {
+        let mut s = StreamSparsifier::new(g.n(), cfg.clone());
+        for chunk in g.edges().chunks(997) {
+            s.ingest_batch(chunk).unwrap();
+        }
+        s.finish()
+    };
+    let a = on_pool(1, run);
+    let b = on_pool(4, run);
+    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+    for (x, y) in a.sparsifier.edges().iter().zip(b.sparsifier.edges()) {
+        assert_eq!(x.w.to_bits(), y.w.to_bits());
+    }
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.stats.peak_resident_edges, b.stats.peak_resident_edges);
     assert_eq!(a.stats.total_work(), b.stats.total_work());
 }
 

@@ -131,4 +131,111 @@ proptest! {
         let expect = scale * g1.quadratic_form(&x) + g2.quadratic_form(&x);
         prop_assert!((combo.quadratic_form(&x) - expect).abs() <= 1e-9 * expect.abs().max(1.0));
     }
+
+    /// merge_union is the Laplacian sum with coalesced support: quadratic forms add
+    /// exactly, the edge count never exceeds the concatenation, and self-merge
+    /// doubles the form.
+    #[test]
+    fn merge_union_is_laplacian_sum(g1 in connected_graph(), seed in 0u64..50) {
+        let g2 = generators::erdos_renyi(g1.n(), 0.15, 1.0, seed);
+        let u = ops::merge_union(&g1, &g2).unwrap();
+        prop_assert!(u.m() <= g1.m() + g2.m());
+        let x: Vec<f64> = (0..g1.n()).map(|i| ((i as f64) * 0.61).cos()).collect();
+        let expect = g1.quadratic_form(&x) + g2.quadratic_form(&x);
+        prop_assert!((u.quadratic_form(&x) - expect).abs() <= 1e-9 * expect.abs().max(1.0));
+        let d = ops::merge_union(&g1, &g1).unwrap();
+        prop_assert!((d.quadratic_form(&x) - 2.0 * g1.quadratic_form(&x)).abs()
+            <= 1e-9 * expect.abs().max(1.0));
+    }
+}
+
+/// Chops `0..m` into a pseudo-random batch sequence derived from `salt` (an LCG —
+/// proptest's strategies stay on the graph/seed axes, the chop must just be ragged).
+fn random_batches(m: usize, salt: u64) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut left = m;
+    let mut state = salt.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    while left > 0 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let take = 1 + (state >> 33) as usize % (m / 4 + 2);
+        let take = take.min(left);
+        sizes.push(take);
+        left -= take;
+    }
+    sizes
+}
+
+fn stream_with_batches(
+    g: &Graph,
+    cfg: &spectral_sparsify::stream::StreamConfig,
+    sizes: &[usize],
+) -> spectral_sparsify::stream::StreamOutput {
+    let mut s = spectral_sparsify::stream::StreamSparsifier::new(g.n(), cfg.clone());
+    let mut at = 0usize;
+    for &size in sizes {
+        s.ingest_batch(&g.edges()[at..at + size]).unwrap();
+        at += size;
+    }
+    assert_eq!(at, g.m());
+    s.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The semi-streaming engine's batch-split invariance: any two chops of the same
+    /// edge sequence give bitwise-identical sparsifiers with identical accounting —
+    /// in particular the edge-count bound of the output never depends on the chop.
+    #[test]
+    fn stream_output_is_batch_split_invariant(
+        g in connected_graph(),
+        salt_a in 0u64..1000,
+        salt_b in 1000u64..2000,
+        seed in 0u64..100
+    ) {
+        let cfg = spectral_sparsify::stream::StreamConfig::new(0.75, (g.m() / 3).max(16))
+            .with_bundle_sizing(BundleSizing::Fixed(2))
+            .with_seed(seed);
+        let a = stream_with_batches(&g, &cfg, &random_batches(g.m(), salt_a));
+        let b = stream_with_batches(&g, &cfg, &random_batches(g.m(), salt_b));
+        prop_assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+        prop_assert_eq!(&a.stats.levels, &b.stats.levels);
+        prop_assert_eq!(a.stats.peak_resident_edges, b.stats.peak_resident_edges);
+        prop_assert_eq!(a.stats.forced_reductions, b.stats.forced_reductions);
+        // Edge-count bound: the output never exceeds the (coalesced) input support.
+        prop_assert!(a.sparsifier.m() <= g.m());
+        prop_assert!(connectivity::is_connected(&a.sparsifier));
+    }
+
+    /// End-to-end (1 ± ε_total) in the regime where the per-reduction guarantee
+    /// actually holds (the paper's bundle constants): for random graphs, random batch
+    /// chops and three stream seeds, the certified quadratic-form error of
+    /// `finish()` against the full-graph Laplacian stays within ε_total.
+    #[test]
+    fn stream_error_within_epsilon_with_faithful_constants(
+        g in connected_graph(),
+        salt in 0u64..500,
+    ) {
+        let eps_total = 0.6f64;
+        for stream_seed in [11u64, 22, 33] {
+            let cfg = spectral_sparsify::stream::StreamConfig::new(eps_total, (g.m() / 2).max(16))
+                .with_bundle_sizing(BundleSizing::Paper)
+                .with_seed(stream_seed);
+            let out = stream_with_batches(&g, &cfg, &random_batches(g.m(), salt));
+            let bounds = spectral_sparsify::linalg::spectral::approximation_bounds(
+                &g,
+                &out.sparsifier,
+                &spectral_sparsify::linalg::spectral::CertifyOptions::default(),
+            );
+            prop_assert!(
+                bounds.within_epsilon(eps_total),
+                "seed {}: bounds {:?} outside 1±{}", stream_seed, bounds, eps_total
+            );
+            prop_assert!(out.stats.epsilon_spent() <= eps_total + 1e-12);
+            // The batch chop never changes the edge-count bound.
+            prop_assert!(out.sparsifier.m() <= g.m());
+        }
+    }
 }
