@@ -35,7 +35,7 @@ fn bench_distributed_sample(c: &mut Criterion) {
             .with_bundle_sizing(BundleSizing::Fixed(t))
             .with_seed(13);
         group.bench_with_input(BenchmarkId::new("t", t), &cfg, |b, cfg| {
-            b.iter(|| distributed_sample(&g, 0.5, cfg))
+            b.iter(|| distributed_sample(&g, cfg))
         });
     }
     group.finish();

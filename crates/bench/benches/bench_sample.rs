@@ -16,7 +16,7 @@ fn bench_sample_round(c: &mut Criterion) {
             .with_bundle_sizing(BundleSizing::Fixed(t))
             .with_seed(7);
         group.bench_with_input(BenchmarkId::new("t", t), &cfg, |b, cfg| {
-            b.iter(|| parallel_sample(&g, 0.5, cfg))
+            b.iter(|| parallel_sample(&g, cfg))
         });
     }
     group.finish();
@@ -36,7 +36,7 @@ fn bench_sample_phases(c: &mut Criterion) {
         .with_bundle_sizing(BundleSizing::Fixed(4))
         .with_seed(7);
     group.bench_function("bundle_plus_sampling_t4", |b| {
-        b.iter(|| parallel_sample(&g, 0.5, &cfg))
+        b.iter(|| parallel_sample(&g, &cfg))
     });
     group.finish();
 }

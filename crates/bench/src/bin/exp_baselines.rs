@@ -6,9 +6,15 @@
 //! certified spectral bounds, wall-clock time, the number of Laplacian solves consumed
 //! (the paper's algorithm is solve-free), and whether the output stayed connected.
 //!
-//! Run with: `cargo run --release -p sgs-bench --bin exp_baselines [--json]`
+//! Run with: `cargo run --release -p sgs-bench --bin exp_baselines [-- FLAGS]`
+//!
+//! Flags:
+//! * `--seed S` — configuration seed shared by every method (default 5; the workload
+//!   graphs keep their own pinned seeds so runs stay comparable).
+//! * `--json` / `--json-out PATH` — as in every experiment binary (the JSON file
+//!   concatenates the rows of all three workloads).
 
-use sgs_bench::{print_table, time_ms, Row, Workload};
+use sgs_bench::{print_table, time_ms, Cli, Row, Workload};
 use sgs_core::baselines::{
     effective_resistance_sparsify, spanner_oversampling_sparsify, uniform_sparsify,
 };
@@ -30,7 +36,10 @@ fn evaluate(name: &str, g: &Graph, h: &Graph, ms: f64, solves: usize) -> Row {
 }
 
 fn main() {
+    let cli = Cli::parse();
     let eps = 0.5;
+    let seed = cli.seed(5);
+    let mut all_rows = Vec::new();
     for workload in [
         Workload::ErdosRenyi { n: 800, deg: 80 },
         Workload::Preferential { n: 800, k: 20 },
@@ -47,11 +56,11 @@ fn main() {
 
         let cfg = SparsifyConfig::new(eps, 4.0)
             .with_bundle_sizing(BundleSizing::Fixed(4))
-            .with_seed(5);
+            .with_seed(seed);
         let (ours, ms) = time_ms(|| parallel_sparsify(&g, &cfg));
         rows.push(evaluate("parallel_sparsify", &g, &ours.sparsifier, ms, 0));
 
-        let (er, ms) = time_ms(|| effective_resistance_sparsify(&g, eps, 0.5, 5));
+        let (er, ms) = time_ms(|| effective_resistance_sparsify(&g, eps, 0.5, seed));
         rows.push(evaluate(
             "effective_resistance",
             &g,
@@ -62,7 +71,7 @@ fn main() {
 
         // Uniform sampling at the same expected size as the paper's output.
         let p = (ours.sparsifier.m() as f64 / g.m() as f64).min(1.0);
-        let (uni, ms) = time_ms(|| uniform_sparsify(&g, p, 5));
+        let (uni, ms) = time_ms(|| uniform_sparsify(&g, p, seed));
         rows.push(evaluate(
             "uniform(matched size)",
             &g,
@@ -71,11 +80,17 @@ fn main() {
             0,
         ));
 
-        let (span, ms) = time_ms(|| spanner_oversampling_sparsify(&g, 0.25, 5));
+        let (span, ms) = time_ms(|| spanner_oversampling_sparsify(&g, 0.25, seed));
         rows.push(evaluate("spanner+oversample", &g, &span.sparsifier, ms, 0));
 
         print_table(&format!("E9: baselines on {}", workload.label()), &rows);
+        let label = workload.label();
+        all_rows.extend(rows.into_iter().map(|mut r| {
+            r.label = format!("{label}/{}", r.label);
+            r
+        }));
     }
+    cli.write_json_out(&all_rows);
     println!(
         "\nexpected shape: on the barbell the uniform baseline loses connectivity / blows up its\n\
          upper bound, while the spanner-based schemes stay two-sided; effective-resistance\n\

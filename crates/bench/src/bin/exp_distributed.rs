@@ -56,7 +56,7 @@ fn main() {
         let cfg = SparsifyConfig::new(0.5, 2.0)
             .with_bundle_sizing(BundleSizing::Fixed(t))
             .with_seed(13);
-        let out = distributed_sample(&g, 0.5, &cfg);
+        let out = distributed_sample(&g, &cfg);
         rows.push(
             Row::new(format!("t = {t}"))
                 .push("bundle", out.bundle_edges as f64)

@@ -28,7 +28,7 @@ fn main() {
         let cfg = SparsifyConfig::new(0.5, 2.0)
             .with_bundle_sizing(BundleSizing::Fixed(t))
             .with_seed(3);
-        let (spanner_out, spanner_ms) = time_ms(|| parallel_sample(&g, 0.5, &cfg));
+        let (spanner_out, spanner_ms) = time_ms(|| parallel_sample(&g, &cfg));
         let spanner_bounds =
             approximation_bounds(&g, &spanner_out.sparsifier, &CertifyOptions::default());
         let (tree_out, tree_ms) = time_ms(|| tree_bundle_sample(&g, t, &cfg));

@@ -20,7 +20,7 @@ fn main() {
         let cfg = SparsifyConfig::new(0.5, 2.0)
             .with_bundle_sizing(BundleSizing::Fixed(t))
             .with_seed(7);
-        let (out, ms) = time_ms(|| parallel_sample(&g, 0.5, &cfg));
+        let (out, ms) = time_ms(|| parallel_sample(&g, &cfg));
         let predicted = out.stats.bundle_edges_per_round[0] as f64
             + (g.m() - out.stats.bundle_edges_per_round[0]) as f64 / 4.0;
         let bounds = sgs_linalg::spectral::approximation_bounds(

@@ -10,6 +10,8 @@
 //! * `--n N` / `--deg D` — workload size: Erdős–Rényi with `N` vertices and expected
 //!   average degree `D` (defaults 4000 / 150, ≈300k edges).
 //! * `--threads 1,2,4` — comma-separated pool widths to sweep (default `1,2,4,8,16`).
+//! * `--seed S` — configuration seed (default 5; the workload graph keeps its own
+//!   pinned seed so runs stay comparable).
 //! * `--distributed` — also run the distributed (CONGEST) pipeline per thread count and
 //!   append `dist_sample_ms` / `dist_spanner_ms` wall-clock plus the communication
 //!   columns `dist_rounds` / `dist_messages` / `dist_bits` (which must be identical
@@ -27,45 +29,18 @@
 //! clock may change. `bench_compare` diffs two `--bench-json` snapshots and fails on
 //! single-thread wall-clock regressions (the CI perf gate).
 
-use serde::Serialize;
-use sgs_bench::{print_table, time_ms, Row, Workload};
+use sgs_bench::{print_table, time_ms, Cli, Row, Workload};
 use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
 use sgs_distributed::{distributed_sample, distributed_spanner, DistSpannerConfig};
 use sgs_spanner::{baswana_sen_spanner, t_bundle, BundleConfig, SpannerConfig};
 
-/// Repo-root perf snapshot: one record per thread count on one fixed workload.
-#[derive(Debug, Clone, Serialize)]
-struct BenchSnapshot {
-    bench: String,
-    workload: String,
-    graph_n: usize,
-    graph_m: usize,
-    host_cores: usize,
-    rows: Vec<Row>,
-}
-
-fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n: usize = flag_value(&args, "--n")
-        .map(|v| v.parse().expect("--n takes an integer"))
-        .unwrap_or(4000);
-    let deg: usize = flag_value(&args, "--deg")
-        .map(|v| v.parse().expect("--deg takes an integer"))
-        .unwrap_or(150);
-    let thread_counts: Vec<usize> = flag_value(&args, "--threads")
-        .map(|v| {
-            v.split(',')
-                .map(|t| t.trim().parse().expect("--threads takes a comma list"))
-                .collect()
-        })
-        .unwrap_or_else(|| vec![1, 2, 4, 8, 16]);
-    let distributed = args.iter().any(|a| a == "--distributed");
+    let cli = Cli::parse();
+    let n = cli.usize_flag("--n", 4000);
+    let deg = cli.usize_flag("--deg", 150);
+    let thread_counts = cli.threads(&[1, 2, 4, 8, 16]);
+    let distributed = cli.has("--distributed");
+    let seed = cli.seed(5);
 
     let workload = Workload::ErdosRenyi { n, deg };
     let g = workload.build(51);
@@ -73,7 +48,7 @@ fn main() {
 
     let cfg = SparsifyConfig::new(0.75, 8.0)
         .with_bundle_sizing(BundleSizing::Fixed(4))
-        .with_seed(5);
+        .with_seed(seed);
 
     let mut rows = Vec::new();
     let mut baseline_sparsify = f64::NAN;
@@ -113,9 +88,9 @@ fn main() {
             // accounting (deterministic per seed, so identical across thread rows).
             let dist_cfg = SparsifyConfig::new(0.75, 4.0)
                 .with_bundle_sizing(BundleSizing::Fixed(2))
-                .with_seed(5);
+                .with_seed(seed);
             let (dist_out, dist_sample_ms) =
-                pool.install(|| time_ms(|| distributed_sample(&g, 0.75, &dist_cfg)));
+                pool.install(|| time_ms(|| distributed_sample(&g, &dist_cfg)));
             let (dist_sp, dist_spanner_ms) = pool
                 .install(|| time_ms(|| distributed_spanner(&g, &DistSpannerConfig::with_seed(3))));
             row = row
@@ -138,24 +113,6 @@ fn main() {
          seeding); only the wall clock changes, which is the PRAM work/depth separation."
     );
 
-    if let Some(path) = flag_value(&args, "--json-out") {
-        let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
-        std::fs::write(&path, json).expect("writing --json-out file");
-        println!("rows written to {path}");
-    }
-    if let Some(path) = flag_value(&args, "--bench-json") {
-        let snapshot = BenchSnapshot {
-            bench: "exp_scaling".to_string(),
-            workload: workload.label(),
-            graph_n: g.n(),
-            graph_m: g.m(),
-            host_cores: std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1),
-            rows: rows.clone(),
-        };
-        let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
-        std::fs::write(&path, json).expect("writing --bench-json file");
-        println!("perf snapshot written to {path}");
-    }
+    cli.write_json_out(&rows);
+    cli.write_bench_json("exp_scaling", &workload, &g, &rows);
 }

@@ -7,6 +7,13 @@
 //! the engine is thread-count and batch-chop deterministic — so only the wall clock
 //! varies.
 //!
+//! Each thread row also runs the leverage-aware configuration — effective-resistance
+//! interior sampling plus the ER-weighted final reduction pass — and reports its
+//! output size (`m_out_er`), the standalone cost of the final pass on the uniform
+//! tree's output (`er_pass_ms`), and the Laplacian solves consumed (`er_solves`).
+//! The uniform run's `stream_sparsify_ms` is timed separately so the historical
+//! like-for-like perf gate is unaffected.
+//!
 //! Run with: `cargo run --release -p sgs-bench --bin exp_stream [-- FLAGS]`
 //!
 //! Flags:
@@ -16,92 +23,74 @@
 //! * `--batch-edges E` — alternative to `--batches`: explicit batch size in edges.
 //! * `--budget-edges M` — resident-edge budget (default `m / 4`).
 //! * `--threads 1,2,4` — comma-separated pool widths to sweep (default `1,2,4`).
+//! * `--seed S` — configuration seed (default 5; the workload graph keeps its own
+//!   pinned seed so runs stay comparable).
 //! * `--t N` / `--keep P` / `--rho R` / `--arity K` — per-reduction bundle size,
 //!   off-bundle keep probability, sparsification factor, and merge fan-in (defaults
 //!   2 / 0.5 / 2 / 2; ablation knobs for the quality-vs-memory trade).
+//! * `--er-oversample C` / `--er-dims K` / `--er-tol T` — final-pass sample budget
+//!   constant, JL sketch dimensions, and CG tolerance (defaults 0.02 / 8 / 1e-4).
 //! * `--verify` — also certify the spectral bounds of the final sparsifier against
 //!   the full graph (adds a few seconds of CG-powered power iteration).
 //! * `--json` / `--json-out PATH` / `--bench-json PATH` — as in every experiment
 //!   binary; `bench_compare` gates `stream_sparsify_ms` and `peak_resident_edges`
-//!   of the `threads = 1` row against the committed `BENCH_5.json`.
+//!   of the `threads = 1` row against the committed `BENCH_5.json`, and `m_out_er`
+//!   and `er_pass_ms` against `BENCH_6.json`.
 
-use serde::Serialize;
-use sgs_bench::{print_table, time_ms, Row, Workload};
-use sgs_core::BundleSizing;
+use sgs_bench::{print_table, time_ms, Cli, Row, Workload};
+use sgs_core::{resparsify_er, BundleSizing, ErPassConfig, SamplingPolicy};
 use sgs_linalg::spectral::{approximation_bounds, CertifyOptions};
-use sgs_stream::{StreamConfig, StreamOutput, StreamSparsifier};
-
-/// Repo-root perf snapshot: one record per thread count on one fixed workload.
-#[derive(Debug, Clone, Serialize)]
-struct BenchSnapshot {
-    bench: String,
-    workload: String,
-    graph_n: usize,
-    graph_m: usize,
-    host_cores: usize,
-    rows: Vec<Row>,
-}
-
-fn flag_value(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
+use sgs_stream::{FinalPassConfig, StreamConfig, StreamOutput, StreamSparsifier};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let n: usize = flag_value(&args, "--n")
-        .map(|v| v.parse().expect("--n takes an integer"))
-        .unwrap_or(4000);
-    let deg: usize = flag_value(&args, "--deg")
-        .map(|v| v.parse().expect("--deg takes an integer"))
-        .unwrap_or(150);
-    let thread_counts: Vec<usize> = flag_value(&args, "--threads")
-        .map(|v| {
-            v.split(',')
-                .map(|t| t.trim().parse().expect("--threads takes a comma list"))
-                .collect()
-        })
-        .unwrap_or_else(|| vec![1, 2, 4]);
-    let verify = args.iter().any(|a| a == "--verify");
+    let cli = Cli::parse();
+    let n = cli.usize_flag("--n", 4000);
+    let deg = cli.usize_flag("--deg", 150);
+    let thread_counts = cli.threads(&[1, 2, 4]);
+    let verify = cli.has("--verify");
 
     let workload = Workload::ErdosRenyi { n, deg };
     let g = workload.build(51);
     let m = g.m();
-    let budget: usize = flag_value(&args, "--budget-edges")
-        .map(|v| v.parse().expect("--budget-edges takes an integer"))
-        .unwrap_or(m / 4);
-    let batch_edges: usize = flag_value(&args, "--batch-edges")
-        .map(|v| v.parse().expect("--batch-edges takes an integer"))
-        .unwrap_or_else(|| {
-            let batches: usize = flag_value(&args, "--batches")
-                .map(|v| v.parse().expect("--batches takes an integer"))
-                .unwrap_or(16);
+    let budget = cli.usize_flag("--budget-edges", m / 4);
+    let batch_edges = cli.value("--batch-edges").map_or_else(
+        || {
+            let batches = cli.usize_flag("--batches", 16);
             m.div_ceil(batches.max(1)).max(1)
-        });
+        },
+        |v| v.parse().expect("--batch-edges takes an integer"),
+    );
     println!(
         "graph: n = {}, m = {m}, budget = {budget} resident edges, batches of {batch_edges}",
         g.n()
     );
 
-    let t: usize = flag_value(&args, "--t")
-        .map(|v| v.parse().expect("--t takes an integer"))
-        .unwrap_or(2);
-    let keep: f64 = flag_value(&args, "--keep")
-        .map(|v| v.parse().expect("--keep takes a float"))
-        .unwrap_or(0.5);
-    let rho: f64 = flag_value(&args, "--rho")
-        .map(|v| v.parse().expect("--rho takes a float"))
-        .unwrap_or(2.0);
-    let arity: usize = flag_value(&args, "--arity")
-        .map(|v| v.parse().expect("--arity takes an integer"))
-        .unwrap_or(2);
+    let t = cli.usize_flag("--t", 2);
+    let keep = cli.f64_flag("--keep", 0.5);
+    let rho = cli.f64_flag("--rho", 2.0);
+    let arity = cli.usize_flag("--arity", 2);
+    let seed = cli.seed(5);
+    let er_oversample = cli.f64_flag("--er-oversample", 0.02);
+    let er_dims = cli.usize_flag("--er-dims", 8);
+    let er_tol = cli.f64_flag("--er-tol", 1e-4);
     let cfg = StreamConfig::new(0.75, budget)
         .with_bundle_sizing(BundleSizing::Fixed(t))
         .with_keep_probability(keep)
         .with_rho(rho)
         .with_arity(arity)
-        .with_seed(5);
+        .with_seed(seed);
+    // The leverage-aware configuration: ER sampling on interior reductions (where the
+    // inputs are already sparsifiers and the solve cost is small) plus the ER-weighted
+    // final pass on the tree's output.
+    let cfg_er = cfg
+        .clone()
+        .with_interior_sampling(SamplingPolicy::effective_resistance(er_dims, er_tol))
+        .with_final_pass(
+            FinalPassConfig::new()
+                .with_oversample(er_oversample)
+                .with_jl_dims(er_dims)
+                .with_cg_tol(er_tol),
+        );
 
     let run = |cfg: &StreamConfig| -> StreamOutput {
         let mut stream = StreamSparsifier::new(g.n(), cfg.clone());
@@ -119,9 +108,21 @@ fn main() {
             .build()
             .expect("thread pool");
         let (out, stream_ms) = pool.install(|| time_ms(|| run(&cfg)));
+        let (out_er, stream_er_ms) = pool.install(|| time_ms(|| run(&cfg_er)));
+        // Standalone timing of the ER pass on the uniform tree's output: the pass cost
+        // in isolation, on an input whose size does not depend on the ER knobs.
+        let pass_cfg = ErPassConfig::new(cfg_er.final_pass_epsilon().min(1.0))
+            .with_oversample(er_oversample)
+            .with_jl_dims(er_dims)
+            .with_cg_tol(er_tol)
+            .with_seed(seed ^ 0xF1A1_9A55_0000_00ED);
+        let (pass_out, er_pass_ms) =
+            pool.install(|| time_ms(|| resparsify_er(&out.sparsifier, &pass_cfg)));
         if baseline_ms.is_nan() {
             baseline_ms = stream_ms;
         }
+        let er_solves =
+            out_er.stats.er_pass.as_ref().map(|p| p.solves).unwrap_or(0) + pass_out.solves as u64;
         let mut row = Row::new(format!("threads = {threads}"))
             .push("threads", threads as f64)
             .push("stream_sparsify_ms", stream_ms)
@@ -129,6 +130,11 @@ fn main() {
             .push("peak_resident_edges", out.stats.peak_resident_edges as f64)
             .push("budget_edges", budget as f64)
             .push("m_out", out.sparsifier.m() as f64)
+            .push("m_out_er", out_er.sparsifier.m() as f64)
+            .push("stream_er_ms", stream_er_ms)
+            .push("er_pass_ms", er_pass_ms)
+            .push("er_solves", er_solves as f64)
+            .push("eps_spent_er", out_er.stats.epsilon_spent())
             .push("leaves", out.stats.leaves as f64)
             .push("forced", out.stats.forced_reductions as f64)
             .push("depth", out.stats.final_depth as f64)
@@ -136,10 +142,13 @@ fn main() {
             .push("work_ops", out.stats.total_work() as f64);
         if verify {
             let bounds = approximation_bounds(&g, &out.sparsifier, &CertifyOptions::default());
+            let bounds_er =
+                approximation_bounds(&g, &out_er.sparsifier, &CertifyOptions::default());
             row = row
                 .push("bound_lower", bounds.lower)
                 .push("bound_upper", bounds.upper)
-                .push("achieved_eps", bounds.epsilon());
+                .push("achieved_eps", bounds.epsilon())
+                .push("achieved_eps_er", bounds_er.epsilon());
         }
         rows.push(row);
     }
@@ -148,28 +157,10 @@ fn main() {
         &rows,
     );
     println!(
-        "peak_resident_edges, m_out and the ε ledger are identical across rows (the engine\n\
-         is thread-count and batch-chop deterministic); only the wall clock changes."
+        "peak_resident_edges, m_out, m_out_er and the ε ledgers are identical across rows\n\
+         (the engine is thread-count and batch-chop deterministic); only wall clocks change."
     );
 
-    if let Some(path) = flag_value(&args, "--json-out") {
-        let json = serde_json::to_string_pretty(&rows).expect("serializable rows");
-        std::fs::write(&path, json).expect("writing --json-out file");
-        println!("rows written to {path}");
-    }
-    if let Some(path) = flag_value(&args, "--bench-json") {
-        let snapshot = BenchSnapshot {
-            bench: "exp_stream".to_string(),
-            workload: workload.label(),
-            graph_n: g.n(),
-            graph_m: g.m(),
-            host_cores: std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1),
-            rows: rows.clone(),
-        };
-        let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
-        std::fs::write(&path, json).expect("writing --bench-json file");
-        println!("perf snapshot written to {path}");
-    }
+    cli.write_json_out(&rows);
+    cli.write_bench_json("exp_stream", &workload, &g, &rows);
 }

@@ -156,6 +156,139 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, start.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Parsed command line shared by every experiment binary, so that the common flags
+/// (`--seed`, `--threads`, `--json`, `--json-out PATH`, `--bench-json PATH`) carry the
+/// same spelling and semantics everywhere instead of each binary re-implementing its
+/// own `flag_value` helper.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    args: Vec<String>,
+}
+
+impl Cli {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        Cli {
+            args: std::env::args().collect(),
+        }
+    }
+
+    /// Builds a CLI from explicit arguments (for tests).
+    pub fn from_args(args: Vec<String>) -> Self {
+        Cli { args }
+    }
+
+    /// Whether a bare flag (`--verify`, `--distributed`, …) is present.
+    pub fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    /// The value following `name`, if present.
+    pub fn value(&self, name: &str) -> Option<String> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1).cloned())
+    }
+
+    /// An integer-valued flag with a default.
+    pub fn usize_flag(&self, name: &str, default: usize) -> usize {
+        self.value(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{name} takes an integer"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// A float-valued flag with a default.
+    pub fn f64_flag(&self, name: &str, default: f64) -> f64 {
+        self.value(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("{name} takes a float")))
+            .unwrap_or(default)
+    }
+
+    /// A `u64`-valued flag with a default.
+    pub fn u64_flag(&self, name: &str, default: u64) -> u64 {
+        self.value(name)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{name} takes an integer"))
+            })
+            .unwrap_or(default)
+    }
+
+    /// The `--seed` flag (configuration seed; workload generators keep their own
+    /// pinned seeds so the graph under test stays comparable across runs).
+    pub fn seed(&self, default: u64) -> u64 {
+        self.u64_flag("--seed", default)
+    }
+
+    /// The `--threads 1,2,4` comma-list, with a default sweep.
+    pub fn threads(&self, default: &[usize]) -> Vec<usize> {
+        self.value("--threads")
+            .map(|v| {
+                v.split(',')
+                    .map(|t| t.trim().parse().expect("--threads takes a comma list"))
+                    .collect()
+            })
+            .unwrap_or_else(|| default.to_vec())
+    }
+
+    /// Writes `rows` to the `--json-out` path when the flag is present.
+    pub fn write_json_out(&self, rows: &[Row]) {
+        if let Some(path) = self.value("--json-out") {
+            let json = serde_json::to_string_pretty(rows).expect("serializable rows");
+            std::fs::write(&path, json).expect("writing --json-out file");
+            println!("rows written to {path}");
+        }
+    }
+
+    /// Writes a [`BenchSnapshot`] to the `--bench-json` path when the flag is present.
+    pub fn write_bench_json(&self, bench: &str, workload: &Workload, g: &Graph, rows: &[Row]) {
+        if let Some(path) = self.value("--bench-json") {
+            let snapshot = BenchSnapshot::new(bench, workload, g, rows.to_vec());
+            let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
+            std::fs::write(&path, json).expect("writing --bench-json file");
+            println!("perf snapshot written to {path}");
+        }
+    }
+}
+
+/// Repo-root perf snapshot (`BENCH_*.json`): one record per swept setting on one fixed
+/// workload, diffed across commits by `bench_compare`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchSnapshot {
+    /// Name of the experiment binary that produced the snapshot.
+    pub bench: String,
+    /// Workload label.
+    pub workload: String,
+    /// Vertices of the workload graph.
+    pub graph_n: usize,
+    /// Edges of the workload graph.
+    pub graph_m: usize,
+    /// Cores of the host that produced the snapshot.
+    pub host_cores: usize,
+    /// The measured rows.
+    pub rows: Vec<Row>,
+}
+
+impl BenchSnapshot {
+    /// Assembles a snapshot for one workload/graph pair.
+    pub fn new(bench: &str, workload: &Workload, g: &Graph, rows: Vec<Row>) -> Self {
+        BenchSnapshot {
+            bench: bench.to_string(),
+            workload: workload.label(),
+            graph_n: g.n(),
+            graph_m: g.m(),
+            host_cores: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            rows,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +309,48 @@ mod tests {
             assert!(g.m() > 0, "{}", w.label());
             assert!(!w.label().is_empty());
         }
+    }
+
+    #[test]
+    fn cli_flags_parse_with_shared_semantics() {
+        let cli = Cli::from_args(
+            [
+                "exp",
+                "--n",
+                "100",
+                "--seed",
+                "9",
+                "--threads",
+                "1, 2,4",
+                "--keep",
+                "0.25",
+                "--verify",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        );
+        assert_eq!(cli.usize_flag("--n", 4000), 100);
+        assert_eq!(cli.usize_flag("--deg", 150), 150);
+        assert_eq!(cli.seed(5), 9);
+        assert_eq!(cli.threads(&[1, 2]), vec![1, 2, 4]);
+        assert!((cli.f64_flag("--keep", 0.5) - 0.25).abs() < 1e-12);
+        assert!(cli.has("--verify"));
+        assert!(!cli.has("--json"));
+        assert!(cli.value("--json-out").is_none());
+    }
+
+    #[test]
+    fn bench_snapshot_captures_workload_shape() {
+        let w = Workload::Barbell { k: 10 };
+        let g = w.build(1);
+        let snap = BenchSnapshot::new("exp_test", &w, &g, vec![Row::new("r").push("a", 1.0)]);
+        assert_eq!(snap.bench, "exp_test");
+        assert_eq!(snap.workload, w.label());
+        assert_eq!(snap.graph_n, g.n());
+        assert_eq!(snap.graph_m, g.m());
+        assert!(snap.host_cores >= 1);
+        assert_eq!(snap.rows.len(), 1);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Configuration of the sparsification algorithms.
 
+use crate::strategy::SamplingPolicy;
+
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +58,8 @@ pub struct SparsifyConfig {
     /// Stop iterating once the graph has at most this many times `n · log₂ n` edges;
     /// mirrors the "threshold of applicability" discussion in Section 4.
     pub stop_below_nlogn_factor: f64,
+    /// How off-bundle keep probabilities are assigned (uniform coin by default).
+    pub sampling: SamplingPolicy,
 }
 
 impl SparsifyConfig {
@@ -73,6 +77,7 @@ impl SparsifyConfig {
             seed: 0xC0FFEE,
             parallel: true,
             stop_below_nlogn_factor: 2.0,
+            sampling: SamplingPolicy::uniform(),
         }
     }
 
@@ -104,6 +109,12 @@ impl SparsifyConfig {
     /// Enables or disables rayon parallelism.
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self
+    }
+
+    /// Selects the off-bundle sampling strategy (see [`SamplingPolicy`]).
+    pub fn with_sampling(mut self, sampling: SamplingPolicy) -> Self {
+        self.sampling = sampling;
         self
     }
 
@@ -178,11 +189,14 @@ mod tests {
             .with_seed(9)
             .with_parallel(false)
             .with_bundle_sizing(BundleSizing::Fixed(5))
-            .with_keep_probability(0.5);
+            .with_keep_probability(0.5)
+            .with_sampling(SamplingPolicy::effective_resistance(4, 1e-3));
         assert_eq!(cfg.seed, 9);
         assert!(!cfg.parallel);
         assert_eq!(cfg.bundle_sizing, BundleSizing::Fixed(5));
         assert_eq!(cfg.keep_probability, 0.5);
         assert_eq!(cfg.rounds(), 4);
+        assert_eq!(cfg.sampling.name(), "effective-resistance");
+        assert_eq!(SparsifyConfig::new(0.3, 2.0).sampling.name(), "uniform");
     }
 }

@@ -14,8 +14,10 @@ use sgs_graph::Graph;
 use sgs_spanner::SpannerEngine;
 
 use crate::config::SparsifyConfig;
+use crate::resparsify::{resparsify_on_engine, ErPassConfig, ErPassOutput};
 use crate::sample::{sample_on_engine, SampleOutput};
 use crate::sparsify::{sparsify_on_engine, SparsifyOutput};
+use crate::strategy::SamplingScratch;
 
 /// A reusable `PARALLELSAMPLE` / `PARALLELSPARSIFY` runner.
 ///
@@ -38,7 +40,8 @@ use crate::sparsify::{sparsify_on_engine, SparsifyOutput};
 /// ```
 #[derive(Debug)]
 pub struct SparsifyEngine {
-    spanner: SpannerEngine,
+    pub(crate) spanner: SpannerEngine,
+    pub(crate) sampling: SamplingScratch,
 }
 
 impl SparsifyEngine {
@@ -46,19 +49,27 @@ impl SparsifyEngine {
     pub fn new() -> SparsifyEngine {
         SparsifyEngine {
             spanner: SpannerEngine::empty(),
+            sampling: SamplingScratch::new(),
         }
     }
 
     /// One round of `PARALLELSAMPLE` (Algorithm 1); byte-identical to
     /// [`crate::parallel_sample`].
-    pub fn sample(&mut self, g: &Graph, eps: f64, cfg: &SparsifyConfig) -> SampleOutput {
-        sample_on_engine(g, eps, cfg, &mut self.spanner)
+    pub fn sample(&mut self, g: &Graph, cfg: &SparsifyConfig) -> SampleOutput {
+        sample_on_engine(g, cfg, self)
     }
 
     /// Full `PARALLELSPARSIFY` (Algorithm 2); byte-identical to
     /// [`crate::parallel_sparsify`].
     pub fn sparsify(&mut self, g: &Graph, cfg: &SparsifyConfig) -> SparsifyOutput {
-        sparsify_on_engine(g, cfg, &mut self.spanner)
+        sparsify_on_engine(g, cfg, self)
+    }
+
+    /// Effective-resistance resparsification pass (Spielman–Srivastava over a finished
+    /// sparsifier); byte-identical to [`crate::resparsify_er`] but reuses this engine's
+    /// JL/CG scratch.
+    pub fn resparsify_er(&mut self, g: &Graph, cfg: &ErPassConfig) -> ErPassOutput {
+        resparsify_on_engine(g, cfg, self)
     }
 }
 
@@ -100,8 +111,8 @@ mod tests {
             assert_eq!(a.stats, b.stats);
             assert_eq!(a.rounds_executed, b.rounds_executed);
 
-            let sa = engine.sample(g, 0.5, &c);
-            let sb = parallel_sample(g, 0.5, &c);
+            let sa = engine.sample(g, &c);
+            let sb = parallel_sample(g, &c);
             assert_eq!(sa.sparsifier.edges(), sb.sparsifier.edges());
             assert_eq!(sa.bundle_edges, sb.bundle_edges);
             assert_eq!(sa.sampled_edges, sb.sampled_edges);

@@ -16,6 +16,12 @@
 //! * [`engine`] — a re-entrant [`SparsifyEngine`] that reuses the spanner engine's
 //!   `O(m)` scratch across calls, for batch pipelines (the `sgs-stream` merge-and-reduce
 //!   tree) that sparsify many graphs in sequence.
+//! * [`strategy`] — pluggable off-bundle sampling: the object-safe [`SamplingStrategy`]
+//!   trait with the paper's [`Uniform`](strategy::Uniform) coin and a Spielman–Srivastava
+//!   [`EffectiveResistance`](strategy::EffectiveResistance) leverage-weighted variant,
+//!   selected via [`SparsifyConfig::with_sampling`].
+//! * [`resparsify`] — [`resparsify_er`], a standalone ER-weighted final pass that
+//!   resamples a finished sparsifier down toward `O(n log n / ε²)` edges.
 //! * [`config`], [`stats`], [`verify`] — configuration, work accounting, and spectral
 //!   verification helpers shared by examples, tests and the benchmark harness.
 //!
@@ -41,16 +47,22 @@ pub mod baselines;
 pub mod config;
 pub mod engine;
 pub mod lst;
+pub mod resparsify;
 pub mod sample;
 pub mod sparsify;
 pub mod stats;
+pub mod strategy;
 pub mod verify;
 
 pub use config::{BundleSizing, SparsifyConfig};
 pub use engine::SparsifyEngine;
+pub use resparsify::{resparsify_er, ErPassConfig, ErPassOutput};
 pub use sample::{edge_coin, parallel_sample, SampleOutput};
 pub use sparsify::{parallel_sparsify, SparsifyOutput};
 pub use stats::WorkStats;
+pub use strategy::{
+    EffectiveResistance, SampleContext, SamplingPolicy, SamplingScratch, SamplingStrategy, Uniform,
+};
 pub use verify::{verify_sparsifier, VerificationReport};
 
 /// Commonly used items for downstream crates and examples.
@@ -61,8 +73,10 @@ pub mod prelude {
     pub use crate::config::{BundleSizing, SparsifyConfig};
     pub use crate::engine::SparsifyEngine;
     pub use crate::lst::tree_bundle_sparsify;
+    pub use crate::resparsify::{resparsify_er, ErPassConfig, ErPassOutput};
     pub use crate::sample::{parallel_sample, SampleOutput};
     pub use crate::sparsify::{parallel_sparsify, SparsifyOutput};
     pub use crate::stats::WorkStats;
+    pub use crate::strategy::{SamplingPolicy, SamplingStrategy};
     pub use crate::verify::{verify_sparsifier, VerificationReport};
 }

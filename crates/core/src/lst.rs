@@ -199,7 +199,6 @@ mod tests {
         let tree_out = tree_bundle_sample(&g, 4, &cfg(3));
         let spanner_out = crate::sample::parallel_sample(
             &g,
-            0.5,
             &cfg(3).with_bundle_sizing(crate::config::BundleSizing::Fixed(4)),
         );
         assert!(

@@ -17,10 +17,12 @@
 use rayon::prelude::*;
 
 use sgs_graph::{Edge, Graph};
-use sgs_spanner::{t_bundle_on_engine, BundleConfig, SpannerConfig, SpannerEngine};
+use sgs_spanner::{t_bundle_on_engine, BundleConfig, SpannerConfig};
 
 use crate::config::SparsifyConfig;
+use crate::engine::SparsifyEngine;
 use crate::stats::WorkStats;
+use crate::strategy::SampleContext;
 
 /// SplitMix64 finalizer: one add-and-mix round with full 64-bit avalanche
 /// (Steele et al., *Fast splittable pseudorandom number generators*, OOPSLA 2014).
@@ -68,26 +70,29 @@ pub struct SampleOutput {
     pub stats: WorkStats,
 }
 
-/// Runs one round of `PARALLELSAMPLE` on `g` with accuracy `eps`.
+/// Runs one round of `PARALLELSAMPLE` on `g`.
 ///
-/// `cfg` supplies the bundle sizing rule, keep probability, seed and parallelism flag;
-/// `eps` is passed separately because `PARALLELSPARSIFY` calls this with the per-round
-/// accuracy `ε / ⌈log ρ⌉`.
-pub fn parallel_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> SampleOutput {
-    sample_on_engine(g, eps, cfg, &mut SpannerEngine::empty())
+/// `cfg` is the single source of truth for the round: accuracy (`cfg.epsilon`), bundle
+/// sizing, keep probability, sampling strategy, seed and parallelism.
+/// (`PARALLELSPARSIFY` derives a per-round config with `ε / ⌈log ρ⌉` before calling
+/// this, so no separate `eps` argument exists any more.)
+pub fn parallel_sample(g: &Graph, cfg: &SparsifyConfig) -> SampleOutput {
+    sample_on_engine(g, cfg, &mut SparsifyEngine::new())
 }
 
 /// Re-entrant `PARALLELSAMPLE`: identical to [`parallel_sample`] but runs the bundle
-/// construction on a caller-owned [`SpannerEngine`], whose view/CSR/mask allocations
-/// are reused across calls. Batch pipelines ([`crate::SparsifyEngine`], `sgs-stream`)
-/// call this once per batch; outputs are byte-identical to the one-shot entry point.
+/// construction and the strategy's probability computation on a caller-owned
+/// [`SparsifyEngine`], whose view/CSR/mask/probability allocations are reused across
+/// calls. Batch pipelines (`sgs-stream`) call this once per batch; outputs are
+/// byte-identical to the one-shot entry point.
 pub(crate) fn sample_on_engine(
     g: &Graph,
-    eps: f64,
     cfg: &SparsifyConfig,
-    spanner: &mut SpannerEngine,
+    engine: &mut SparsifyEngine,
 ) -> SampleOutput {
+    let eps = cfg.epsilon;
     assert!(eps > 0.0, "epsilon must be positive");
+    let SparsifyEngine { spanner, sampling } = engine;
     let n = g.n();
     let m = g.m();
     let t = cfg.bundle_sizing.resolve(n, eps);
@@ -109,23 +114,60 @@ pub(crate) fn sample_on_engine(
     // scheduling. Kept edges are collected as ready-made `Edge`s (in id order — the
     // executor concatenates chunks in domain order) and moved into the output graph
     // without a second pass.
-    let p = cfg.keep_probability;
-    let reweight = 1.0 / p;
+    //
+    // The configured strategy may replace the uniform coin threshold with per-edge
+    // probabilities (leverage-aware sampling). Both branches consume the *same* coin
+    // stream — a strategy only moves each edge's threshold, never its draw — so the
+    // uniform path stays byte-identical to the original Algorithm 1 implementation.
     let seed = cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF;
-    let decide = |id: usize| -> Option<Edge> {
-        let e = g.edge(id);
-        if bundle.in_bundle[id] {
-            Some(e)
-        } else if edge_coin(seed, id as u64) < p {
-            Some(Edge::new(e.u, e.v, e.w * reweight))
-        } else {
-            None
-        }
+    let ctx = SampleContext {
+        graph: g,
+        in_bundle: &bundle.in_bundle,
+        epsilon: eps,
+        t,
+        keep_probability: cfg.keep_probability,
+        seed: cfg.seed,
+        parallel: cfg.parallel,
     };
-    let kept: Vec<Edge> = if cfg.parallel {
-        (0..m).into_par_iter().filter_map(decide).collect()
+    let weighted = cfg.sampling.strategy().keep_probabilities(&ctx, sampling);
+    let kept: Vec<Edge> = if weighted {
+        let probs = &sampling.probs;
+        let decide = |id: usize| -> Option<Edge> {
+            let e = g.edge(id);
+            if bundle.in_bundle[id] {
+                Some(e)
+            } else {
+                let p = probs[id];
+                if edge_coin(seed, id as u64) < p {
+                    Some(Edge::new(e.u, e.v, e.w / p))
+                } else {
+                    None
+                }
+            }
+        };
+        if cfg.parallel {
+            (0..m).into_par_iter().filter_map(decide).collect()
+        } else {
+            (0..m).filter_map(decide).collect()
+        }
     } else {
-        (0..m).filter_map(decide).collect()
+        let p = cfg.keep_probability;
+        let reweight = 1.0 / p;
+        let decide = |id: usize| -> Option<Edge> {
+            let e = g.edge(id);
+            if bundle.in_bundle[id] {
+                Some(e)
+            } else if edge_coin(seed, id as u64) < p {
+                Some(Edge::new(e.u, e.v, e.w * reweight))
+            } else {
+                None
+            }
+        };
+        if cfg.parallel {
+            (0..m).into_par_iter().filter_map(decide).collect()
+        } else {
+            (0..m).filter_map(decide).collect()
+        }
     };
 
     // Every bundle edge is kept unconditionally, so the split needs no re-scan.
@@ -212,7 +254,7 @@ mod tests {
         let g = generators::erdos_renyi(300, 0.3, 1.0, 5);
         let mut totals = Vec::new();
         for seed in 0..8 {
-            let out = parallel_sample(&g, 0.5, &base_cfg().with_seed(seed));
+            let out = parallel_sample(&g, &base_cfg().with_seed(seed));
             totals.push(out.sparsifier.total_weight());
         }
         let mean = totals.iter().sum::<f64>() / totals.len() as f64;
@@ -223,7 +265,7 @@ mod tests {
     #[test]
     fn off_bundle_edges_shrink_by_roughly_keep_probability() {
         let g = generators::erdos_renyi(400, 0.3, 1.0, 3);
-        let out = parallel_sample(&g, 0.5, &base_cfg());
+        let out = parallel_sample(&g, &base_cfg());
         let off_bundle_total = g.m() - out.stats.bundle_edges_per_round[0];
         let expected = off_bundle_total as f64 * 0.25;
         let got = out.sampled_edges as f64;
@@ -238,7 +280,7 @@ mod tests {
     #[test]
     fn sampled_edges_are_reweighted_by_inverse_probability() {
         let g = generators::complete(60, 2.0);
-        let out = parallel_sample(&g, 0.5, &base_cfg());
+        let out = parallel_sample(&g, &base_cfg());
         // Every edge weight is either 2.0 (bundle) or 8.0 (kept off-bundle edge).
         for e in out.sparsifier.edges() {
             assert!(
@@ -254,18 +296,14 @@ mod tests {
     fn output_preserves_connectivity() {
         // The bundle contains at least one full spanner, which spans the graph.
         let g = generators::preferential_attachment(300, 5, 1.0, 7);
-        let out = parallel_sample(&g, 0.5, &base_cfg());
+        let out = parallel_sample(&g, &base_cfg());
         assert!(is_connected(&out.sparsifier));
     }
 
     #[test]
     fn spectral_quality_is_reasonable_on_dense_graph() {
         let g = generators::erdos_renyi(200, 0.5, 1.0, 11);
-        let out = parallel_sample(
-            &g,
-            0.5,
-            &base_cfg().with_bundle_sizing(BundleSizing::Fixed(6)),
-        );
+        let out = parallel_sample(&g, &base_cfg().with_bundle_sizing(BundleSizing::Fixed(6)));
         let bounds = approximation_bounds(&g, &out.sparsifier, &CertifyOptions::default());
         // With a practical bundle the guarantee is looser than the paper's 1±ε, but the
         // approximation must still be two-sided and far from degenerate.
@@ -276,10 +314,10 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed_and_independent_of_parallelism() {
         let g = generators::erdos_renyi(250, 0.2, 1.0, 23);
-        let a = parallel_sample(&g, 0.5, &base_cfg().with_parallel(true));
-        let b = parallel_sample(&g, 0.5, &base_cfg().with_parallel(false));
+        let a = parallel_sample(&g, &base_cfg().with_parallel(true));
+        let b = parallel_sample(&g, &base_cfg().with_parallel(false));
         assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
-        let c = parallel_sample(&g, 0.5, &base_cfg().with_seed(99));
+        let c = parallel_sample(&g, &base_cfg().with_seed(99));
         assert_ne!(a.sparsifier.edges(), c.sparsifier.edges());
     }
 
@@ -291,7 +329,7 @@ mod tests {
         let cfg = SparsifyConfig::new(0.5, 2.0)
             .with_paper_constants()
             .with_seed(3);
-        let out = parallel_sample(&g, 0.5, &cfg);
+        let out = parallel_sample(&g, &cfg);
         assert_eq!(out.sparsifier.m(), g.m());
         assert_eq!(out.sampled_edges, 0);
     }
@@ -299,7 +337,7 @@ mod tests {
     #[test]
     fn stats_reflect_the_round() {
         let g = generators::erdos_renyi(200, 0.3, 1.0, 5);
-        let out = parallel_sample(&g, 0.5, &base_cfg());
+        let out = parallel_sample(&g, &base_cfg());
         assert_eq!(out.stats.rounds, 1);
         assert_eq!(out.stats.edges_per_round, vec![g.m()]);
         assert_eq!(out.stats.bundle_t_per_round, vec![3]);
@@ -313,8 +351,8 @@ mod tests {
         let g = generators::erdos_renyi(400, 0.3, 1.0, 31);
         let half = base_cfg().with_keep_probability(0.5);
         let quarter = base_cfg();
-        let out_half = parallel_sample(&g, 0.5, &half);
-        let out_quarter = parallel_sample(&g, 0.5, &quarter);
+        let out_half = parallel_sample(&g, &half);
+        let out_quarter = parallel_sample(&g, &quarter);
         assert!(out_half.sampled_edges > out_quarter.sampled_edges);
         // Reweighting factor should be 2x for p = 1/2.
         let has_2x = out_half
@@ -323,5 +361,32 @@ mod tests {
             .iter()
             .any(|e| (e.w - 2.0).abs() < 1e-12);
         assert!(has_2x);
+    }
+
+    #[test]
+    fn er_strategy_output_is_connected_and_parallelism_invariant() {
+        use crate::strategy::SamplingPolicy;
+        let g = generators::erdos_renyi(150, 0.25, 1.0, 13);
+        let cfg = base_cfg().with_sampling(SamplingPolicy::effective_resistance(4, 1e-3));
+        let a = parallel_sample(&g, &cfg.clone().with_parallel(true));
+        let b = parallel_sample(&g, &cfg.clone().with_parallel(false));
+        assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+        assert!(is_connected(&a.sparsifier));
+        // The weighted path must actually diverge from the uniform coin.
+        let uniform = parallel_sample(&g, &base_cfg());
+        assert_ne!(a.sparsifier.edges(), uniform.sparsifier.edges());
+    }
+
+    #[test]
+    fn er_strategy_keeps_expected_size_near_uniform_budget() {
+        use crate::strategy::SamplingPolicy;
+        let g = generators::erdos_renyi(200, 0.3, 1.0, 29);
+        let cfg = base_cfg().with_sampling(SamplingPolicy::effective_resistance(4, 1e-3));
+        let out = parallel_sample(&g, &cfg);
+        let uniform = parallel_sample(&g, &base_cfg());
+        // Same expected budget → kept counts in the same ballpark (within 2x).
+        let a = out.sampled_edges as f64;
+        let b = uniform.sampled_edges.max(1) as f64;
+        assert!(a < 2.0 * b && a > 0.3 * b, "er kept {a}, uniform kept {b}");
     }
 }

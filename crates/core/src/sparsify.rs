@@ -14,9 +14,9 @@
 //! geometrically.
 
 use sgs_graph::Graph;
-use sgs_spanner::SpannerEngine;
 
 use crate::config::SparsifyConfig;
+use crate::engine::SparsifyEngine;
 use crate::sample::sample_on_engine;
 use crate::stats::WorkStats;
 
@@ -50,16 +50,16 @@ impl SparsifyOutput {
 /// the entire graph and further rounds are no-ops (this mirrors the "threshold of
 /// applicability" discussion in Section 4 of the paper).
 pub fn parallel_sparsify(g: &Graph, cfg: &SparsifyConfig) -> SparsifyOutput {
-    sparsify_on_engine(g, cfg, &mut SpannerEngine::empty())
+    sparsify_on_engine(g, cfg, &mut SparsifyEngine::new())
 }
 
 /// Re-entrant `PARALLELSPARSIFY`: identical to [`parallel_sparsify`] but every round's
-/// bundle construction reuses the caller's [`SpannerEngine`] allocations. This is the
-/// per-batch entry point of [`crate::SparsifyEngine`].
+/// bundle construction and probability scratch reuse the caller's [`SparsifyEngine`]
+/// allocations. This is the per-batch entry point of [`crate::SparsifyEngine`].
 pub(crate) fn sparsify_on_engine(
     g: &Graph,
     cfg: &SparsifyConfig,
-    spanner: &mut SpannerEngine,
+    engine: &mut SparsifyEngine,
 ) -> SparsifyOutput {
     let rounds = cfg.rounds();
     let per_round_epsilon = cfg.per_round_epsilon();
@@ -80,10 +80,11 @@ pub(crate) fn sparsify_on_engine(
             break;
         }
         let mut round_cfg = cfg.clone();
+        round_cfg.epsilon = per_round_epsilon;
         round_cfg.seed = cfg
             .seed
             .wrapping_add((round as u64).wrapping_mul(0x9E3779B97F4A7C15));
-        let out = sample_on_engine(cur, per_round_epsilon, &round_cfg, spanner);
+        let out = sample_on_engine(cur, &round_cfg, engine);
         stats.absorb_round(&out.stats);
         current = Some(out.sparsifier);
         rounds_executed += 1;

@@ -37,11 +37,12 @@ pub struct DistSparsifyResult {
     pub bundle_edges: usize,
 }
 
-/// One distributed `PARALLELSAMPLE` round on `g` with accuracy `eps`.
-pub fn distributed_sample(g: &Graph, eps: f64, cfg: &SparsifyConfig) -> DistSparsifyResult {
+/// One distributed `PARALLELSAMPLE` round on `g`; `cfg` carries the round's accuracy
+/// (`cfg.epsilon`) along with every other knob, matching the shared-memory API.
+pub fn distributed_sample(g: &Graph, cfg: &SparsifyConfig) -> DistSparsifyResult {
     let n = g.n();
     let m = g.m();
-    let t = cfg.bundle_sizing.resolve(n, eps);
+    let t = cfg.bundle_sizing.resolve(n, cfg.epsilon);
     let mut metrics = NetworkMetrics::default();
 
     // Build the t-bundle with t successive distributed spanner runs on residual edges.
@@ -111,8 +112,9 @@ pub fn distributed_sparsify(g: &Graph, cfg: &SparsifyConfig) -> DistSparsifyResu
             break;
         }
         let mut round_cfg = cfg.clone();
+        round_cfg.epsilon = per_round_eps;
         round_cfg.seed = cfg.seed.wrapping_add(round as u64 * 0xD00D);
-        let out = distributed_sample(&current, per_round_eps, &round_cfg);
+        let out = distributed_sample(&current, &round_cfg);
         metrics.absorb(&out.metrics);
         bundle_edges = out.bundle_edges;
         current = out.sparsifier;
@@ -142,7 +144,7 @@ mod tests {
     #[test]
     fn distributed_sample_sparsifies_and_stays_connected() {
         let g = generators::erdos_renyi(150, 0.3, 1.0, 3);
-        let out = distributed_sample(&g, 0.75, &cfg(1));
+        let out = distributed_sample(&g, &cfg(1));
         assert!(out.sparsifier.m() < g.m());
         assert!(is_connected(&out.sparsifier));
         assert!(out.bundle_edges > 0);
@@ -153,8 +155,8 @@ mod tests {
     #[test]
     fn communication_scales_with_bundle_size() {
         let g = generators::erdos_renyi(120, 0.25, 1.0, 7);
-        let small = distributed_sample(&g, 0.75, &cfg(1));
-        let big = distributed_sample(&g, 0.75, &cfg(1).with_bundle_sizing(BundleSizing::Fixed(6)));
+        let small = distributed_sample(&g, &cfg(1));
+        let big = distributed_sample(&g, &cfg(1).with_bundle_sizing(BundleSizing::Fixed(6)));
         assert!(big.metrics.rounds > small.metrics.rounds);
         assert!(big.metrics.messages > small.metrics.messages);
     }
@@ -164,7 +166,7 @@ mod tests {
         let n = 100usize;
         let g = generators::erdos_renyi(n, 0.25, 1.0, 13);
         let t = 3usize;
-        let out = distributed_sample(&g, 0.75, &cfg(5).with_bundle_sizing(BundleSizing::Fixed(t)));
+        let out = distributed_sample(&g, &cfg(5).with_bundle_sizing(BundleSizing::Fixed(t)));
         let k = (n as f64).log2().ceil();
         let round_bound = (t as f64 * 4.0 * k * k) as usize + 10 * t;
         let msg_bound = (t as u64) * (6 * g.m() as u64 * k as u64 + 1000);
@@ -204,8 +206,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = generators::erdos_renyi(100, 0.3, 1.0, 23);
-        let a = distributed_sample(&g, 0.75, &cfg(9));
-        let b = distributed_sample(&g, 0.75, &cfg(9));
+        let a = distributed_sample(&g, &cfg(9));
+        let b = distributed_sample(&g, &cfg(9));
         assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
         assert_eq!(a.metrics, b.metrics);
     }

@@ -38,7 +38,10 @@ pub use cg::{
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use laplacian::{is_sdd, laplacian_of};
-pub use resistance::{approx_effective_resistances, exact_effective_resistances};
+pub use resistance::{
+    approx_effective_resistances, approx_effective_resistances_in, exact_effective_resistances,
+    ResistanceOptions, ResistanceScratch,
+};
 pub use spectral::{approximation_bounds, relative_condition_number, SpectralBounds};
 
 /// Commonly used items for downstream crates.

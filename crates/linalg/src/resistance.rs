@@ -127,48 +127,147 @@ pub fn approx_effective_resistances(g: &Graph, jl_factor: f64, seed: u64) -> Vec
         "effective resistances require a connected graph"
     );
     let n = g.n();
-    let m = g.m();
     let k = ((jl_factor * (n.max(2) as f64).log2()).ceil() as usize).max(1);
-    let op = GraphLaplacianOp::new(g);
-    let cfg = CgConfig {
+    let opts = ResistanceOptions {
+        rows: k,
         tolerance: 1e-8,
         max_iterations: 50 * n,
+        seed,
+        parallel: true,
+    };
+    let mut out = Vec::new();
+    approx_effective_resistances_in(g, &opts, &mut ResistanceScratch::new(), &mut out);
+    out
+}
+
+/// Knobs of the scratch-reusing resistance estimator
+/// [`approx_effective_resistances_in`].
+///
+/// Unlike the `jl_factor` convenience wrapper, `rows` is the *absolute* number of
+/// projection rows (= Laplacian solves): batch callers such as the leverage-aware
+/// sampling strategy in `sgs-core` pick a small fixed row count and a loose CG
+/// tolerance, trading per-edge accuracy for speed — the sampled leverage scores only
+/// steer probabilities, they are not a certificate.
+#[derive(Debug, Clone)]
+pub struct ResistanceOptions {
+    /// Number of random-projection rows, i.e. CG solves (`k` of Spielman–Srivastava).
+    pub rows: usize,
+    /// CG relative-residual tolerance per solve.
+    pub tolerance: f64,
+    /// CG iteration cap per solve.
+    pub max_iterations: usize,
+    /// Seed of the ±1 projection draws.
+    pub seed: u64,
+    /// Run the rows and the per-edge accumulation under rayon.
+    pub parallel: bool,
+}
+
+/// Reusable workspace of [`approx_effective_resistances_in`]: the `k × n` projection
+/// rows. Construction is free; the first call sizes it and later calls on graphs of
+/// similar size reuse the allocations.
+#[derive(Debug, Default)]
+pub struct ResistanceScratch {
+    zs: Vec<Vec<f64>>,
+}
+
+impl ResistanceScratch {
+    /// Creates an empty scratch (no allocation until first use).
+    pub fn new() -> ResistanceScratch {
+        ResistanceScratch::default()
+    }
+}
+
+/// Scratch-reusing [`approx_effective_resistances`] that also accepts **disconnected**
+/// graphs, writing one estimate per edge into `out` (resized to `g.m()`).
+///
+/// Connectivity is not required because every projection RHS `y = Bᵀ W^{1/2} q` is
+/// balanced *per connected component* (each edge contributes `±val` to two endpoints
+/// of the same component), so it is orthogonal to the Laplacian null space and the CG
+/// iterates stay component-balanced; the potential difference `z[u] − z[v]` is then
+/// well-defined for every edge, whose endpoints share a component by definition. The
+/// merge-and-reduce tree of `sgs-stream` relies on this: leaf slices of an edge stream
+/// are routinely disconnected.
+///
+/// For a fixed seed the output is bitwise identical across thread counts *and* across
+/// `parallel` on/off — rows and per-edge accumulations are independent, and no
+/// cross-edge reduction is performed.
+pub fn approx_effective_resistances_in(
+    g: &Graph,
+    opts: &ResistanceOptions,
+    scratch: &mut ResistanceScratch,
+    out: &mut Vec<f64>,
+) {
+    let n = g.n();
+    let m = g.m();
+    out.clear();
+    out.resize(m, 0.0);
+    if m == 0 {
+        return;
+    }
+    let k = opts.rows.max(1);
+    let op = GraphLaplacianOp::new(g);
+    let cfg = CgConfig {
+        tolerance: opts.tolerance,
+        max_iterations: opts.max_iterations,
         project_ones: true,
     };
 
     // For each projection row i: y_i = Bᵀ W^{1/2} q_i  (an n-vector), z_i = L⁺ y_i.
-    // The accumulation buffer and the CG workspace are reused across the rows
-    // of one executor chunk; only the returned solution is a fresh vector.
-    let zs: Vec<Vec<f64>> = (0..k)
-        .into_par_iter()
-        .map_init(
-            || (vec![0.0; n], CgScratch::new(n)),
-            |(y, scratch), i| {
-                y.fill(0.0);
-                let q = vector::rademacher(m, seed.wrapping_add(i as u64).wrapping_mul(0x9E37));
-                for (j, e) in g.edges().iter().enumerate() {
-                    let val = q[j] * e.w.sqrt();
-                    y[e.u] += val;
-                    y[e.v] -= val;
-                }
-                cg_solve_in(&op, y, &cfg, scratch);
-                scratch.solution().to_vec()
-            },
-        )
-        .collect();
-
-    let scale = 1.0 / k as f64;
-    g.edges()
-        .par_iter()
-        .map(|e| {
-            let mut acc = 0.0;
-            for z in &zs {
-                let d = z[e.u] - z[e.v];
-                acc += d * d;
+    // Rows live in the caller's scratch; the RHS accumulator, the ±1 draw and the CG
+    // workspace are reused across the rows of one executor chunk.
+    scratch.zs.resize_with(k, Vec::new);
+    for z in scratch.zs.iter_mut() {
+        z.clear();
+        z.resize(n, 0.0);
+    }
+    let fill_row =
+        |y: &mut Vec<f64>, q: &mut Vec<f64>, cg: &mut CgScratch, i: usize, z: &mut [f64]| {
+            y.fill(0.0);
+            vector::rademacher_in(opts.seed.wrapping_add(i as u64).wrapping_mul(0x9E37), q);
+            for (j, e) in g.edges().iter().enumerate() {
+                let val = q[j] * e.w.sqrt();
+                y[e.u] += val;
+                y[e.v] -= val;
             }
-            acc * scale
-        })
-        .collect()
+            cg_solve_in(&op, y, &cfg, cg);
+            z.copy_from_slice(cg.solution());
+        };
+    if opts.parallel {
+        scratch.zs[..k]
+            .par_iter_mut()
+            .enumerate()
+            .map_init(
+                || (vec![0.0; n], vec![0.0; m], CgScratch::new(n)),
+                |(y, q, cg), (i, z)| fill_row(y, q, cg, i, z),
+            )
+            .count();
+    } else {
+        let (mut y, mut q, mut cg) = (vec![0.0; n], vec![0.0; m], CgScratch::new(n));
+        for (i, z) in scratch.zs[..k].iter_mut().enumerate() {
+            fill_row(&mut y, &mut q, &mut cg, i, z);
+        }
+    }
+
+    let zs = &scratch.zs[..k];
+    let scale = 1.0 / k as f64;
+    let estimate = |j: usize| -> f64 {
+        let e = g.edge(j);
+        let mut acc = 0.0;
+        for z in zs {
+            let d = z[e.u] - z[e.v];
+            acc += d * d;
+        }
+        acc * scale
+    };
+    if opts.parallel {
+        out.par_iter_mut()
+            .enumerate()
+            .for_each(|(j, r)| *r = estimate(j));
+    } else {
+        for (j, r) in out.iter_mut().enumerate() {
+            *r = estimate(j);
+        }
+    }
 }
 
 /// Sum of leverage scores `Σ_e w_e R_e[G]`; equals `n − 1` exactly for a connected
@@ -271,6 +370,102 @@ mod tests {
     fn disconnected_graph_panics() {
         let g = Graph::from_tuples(4, vec![(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
         let _ = exact_effective_resistances(&g);
+    }
+
+    #[test]
+    fn scratch_estimator_matches_wrapper_bitwise() {
+        let g = generators::erdos_renyi(80, 0.15, 1.0, 21);
+        let n = g.n();
+        let k = ((10.0 * (n as f64).log2()).ceil() as usize).max(1);
+        let wrapper = approx_effective_resistances(&g, 10.0, 5);
+        let opts = ResistanceOptions {
+            rows: k,
+            tolerance: 1e-8,
+            max_iterations: 50 * n,
+            seed: 5,
+            parallel: true,
+        };
+        let mut scratch = ResistanceScratch::new();
+        let mut out = Vec::new();
+        approx_effective_resistances_in(&g, &opts, &mut scratch, &mut out);
+        assert_eq!(wrapper.len(), out.len());
+        for (a, b) in wrapper.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Sequential mode is bitwise identical too (per-row and per-edge math are
+        // independent; no cross-edge float reduction exists in the estimator).
+        let seq_opts = ResistanceOptions {
+            parallel: false,
+            ..opts
+        };
+        let mut seq = Vec::new();
+        approx_effective_resistances_in(&g, &seq_opts, &mut scratch, &mut seq);
+        for (a, b) in out.iter().zip(&seq) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_estimator_handles_disconnected_graphs_per_component() {
+        // Two disjoint 3-paths: each edge's resistance within its component must match
+        // the exact value computed on that component alone.
+        let g = Graph::from_tuples(
+            8,
+            vec![
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (4, 5, 2.0),
+                (5, 6, 2.0),
+                (6, 7, 2.0),
+            ],
+        )
+        .unwrap();
+        let opts = ResistanceOptions {
+            rows: 96,
+            tolerance: 1e-10,
+            max_iterations: 2000,
+            seed: 11,
+            parallel: true,
+        };
+        let mut out = Vec::new();
+        approx_effective_resistances_in(&g, &opts, &mut ResistanceScratch::new(), &mut out);
+        // Path edges are in series: R = 1/w exactly.
+        for (e, r) in g.edges().iter().zip(&out) {
+            let exact = 1.0 / e.w;
+            assert!(
+                (r - exact).abs() / exact < 0.6,
+                "edge ({}, {}): estimate {r} vs exact {exact}",
+                e.u,
+                e.v
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_graph_sizes() {
+        let mut scratch = ResistanceScratch::new();
+        let mut out = Vec::new();
+        let opts = ResistanceOptions {
+            rows: 12,
+            tolerance: 1e-8,
+            max_iterations: 2000,
+            seed: 3,
+            parallel: true,
+        };
+        for g in [
+            generators::erdos_renyi(60, 0.2, 1.0, 1),
+            generators::erdos_renyi(120, 0.1, 1.0, 2),
+            generators::grid2d(6, 6, 1.0),
+        ] {
+            approx_effective_resistances_in(&g, &opts, &mut scratch, &mut out);
+            let mut fresh = Vec::new();
+            approx_effective_resistances_in(&g, &opts, &mut ResistanceScratch::new(), &mut fresh);
+            assert_eq!(out.len(), g.m());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits(), "reused scratch must not leak");
+            }
+        }
     }
 
     #[test]

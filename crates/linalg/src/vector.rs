@@ -99,10 +99,19 @@ pub fn random_unit_orthogonal(n: usize, seed: u64) -> Vec<f64> {
 /// A deterministic vector of independent Rademacher (±1) entries, used by the
 /// Spielman–Srivastava random-projection resistance estimator.
 pub fn rademacher(n: usize, seed: u64) -> Vec<f64> {
+    let mut out = vec![0.0; n];
+    rademacher_in(seed, &mut out);
+    out
+}
+
+/// In-place [`rademacher`]: fills `out` with the same ±1 stream for the same seed,
+/// letting batch callers (the engine-scratch resistance estimator) reuse one buffer
+/// across draws instead of allocating per projection row.
+pub fn rademacher_in(seed: u64, out: &mut [f64]) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
-        .collect()
+    for v in out.iter_mut() {
+        *v = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Configuration of the semi-streaming sparsifier.
 
-use sgs_core::{BundleSizing, SparsifyConfig};
+use sgs_core::{BundleSizing, SamplingPolicy, SparsifyConfig};
 
 /// SplitMix64 finalizer (same mix as `sgs_core::sample`): full 64-bit avalanche.
 #[inline]
@@ -67,6 +67,86 @@ pub struct StreamConfig {
     /// Early-stop threshold forwarded to every reduction (`PARALLELSPARSIFY` leaves
     /// graphs with at most this many times `n log₂ n` edges untouched).
     pub stop_below_nlogn_factor: f64,
+    /// Sampling strategy of depth-0 (leaf) reductions. Leaves see raw, large batches
+    /// where Laplacian solves are at their most expensive and the uniform coin's
+    /// variance has not compounded yet — uniform is the right default.
+    pub leaf_sampling: SamplingPolicy,
+    /// Sampling strategy of interior (depth ≥ 1, including forced) reductions. Deep
+    /// chains compound uniform-sampling variance multiplicatively; leverage-aware
+    /// sampling here ([`SamplingPolicy::effective_resistance`]) keeps interior nodes
+    /// near the `n log n` floor instead.
+    pub interior_sampling: SamplingPolicy,
+    /// Optional ER-weighted final pass over the finished sparsifier (see
+    /// [`FinalPassConfig`]). `None` (the default) leaves `finish()` byte-identical to
+    /// the tree output; `Some` reserves `epsilon_fraction` of `ε_total` for the pass
+    /// and runs the merge-and-reduce tree at the remaining `(1 − f) · ε_total`.
+    pub final_pass: Option<FinalPassConfig>,
+}
+
+/// Configuration of the ER-weighted final pass run by `StreamSparsifier::finish`.
+///
+/// The pass resamples the finished sparsifier with Spielman–Srivastava `w_e · R_e`
+/// probabilities (`sgs_core::resparsify_er`), spending `epsilon_fraction · ε_total`
+/// of the stream's accuracy budget. It composes with the tree's schedule exactly like
+/// one more level: the tree certifies `H ≈ G` within `(1 − f) ε_total`, the pass
+/// certifies `H' ≈ H` within `f ε_total`, and first-order composition gives
+/// `H' ≈ G` within `ε_total`.
+#[derive(Debug, Clone)]
+pub struct FinalPassConfig {
+    /// Fraction `f ∈ (0, 1)` of `ε_total` reserved for the pass (default 1/3).
+    pub epsilon_fraction: f64,
+    /// Oversampling constant of the pass's `q = c · n log₂ n / ε²` sample budget.
+    pub oversample: f64,
+    /// JL projection rows (= Laplacian solves) of the resistance estimate.
+    pub jl_dims: usize,
+    /// CG tolerance of each solve.
+    pub cg_tol: f64,
+}
+
+impl FinalPassConfig {
+    /// Practical defaults: a third of the ε budget, oversample 0.25, 8 rows at `1e-4`.
+    pub fn new() -> FinalPassConfig {
+        FinalPassConfig {
+            epsilon_fraction: 1.0 / 3.0,
+            oversample: 0.25,
+            jl_dims: 8,
+            cg_tol: 1e-4,
+        }
+    }
+
+    /// Overrides the ε fraction (must be in `(0, 1)`).
+    pub fn with_epsilon_fraction(mut self, f: f64) -> Self {
+        assert!(f > 0.0 && f < 1.0, "epsilon fraction must be in (0, 1)");
+        self.epsilon_fraction = f;
+        self
+    }
+
+    /// Overrides the oversampling constant (must be positive).
+    pub fn with_oversample(mut self, c: f64) -> Self {
+        assert!(c > 0.0, "oversample must be positive");
+        self.oversample = c;
+        self
+    }
+
+    /// Overrides the JL dimensions (must be positive).
+    pub fn with_jl_dims(mut self, k: usize) -> Self {
+        assert!(k > 0, "jl_dims must be positive");
+        self.jl_dims = k;
+        self
+    }
+
+    /// Overrides the CG tolerance (must be positive).
+    pub fn with_cg_tol(mut self, tol: f64) -> Self {
+        assert!(tol > 0.0, "cg_tol must be positive");
+        self.cg_tol = tol;
+        self
+    }
+}
+
+impl Default for FinalPassConfig {
+    fn default() -> Self {
+        FinalPassConfig::new()
+    }
 }
 
 impl StreamConfig {
@@ -96,6 +176,9 @@ impl StreamConfig {
             seed: 0xC0FFEE,
             parallel: true,
             stop_below_nlogn_factor: 0.5,
+            leaf_sampling: SamplingPolicy::uniform(),
+            interior_sampling: SamplingPolicy::uniform(),
+            final_pass: None,
         }
     }
 
@@ -145,6 +228,24 @@ impl StreamConfig {
         self
     }
 
+    /// Overrides the sampling strategy of depth-0 (leaf) reductions.
+    pub fn with_leaf_sampling(mut self, sampling: SamplingPolicy) -> Self {
+        self.leaf_sampling = sampling;
+        self
+    }
+
+    /// Overrides the sampling strategy of interior (depth ≥ 1) reductions.
+    pub fn with_interior_sampling(mut self, sampling: SamplingPolicy) -> Self {
+        self.interior_sampling = sampling;
+        self
+    }
+
+    /// Enables the ER-weighted final pass (see [`FinalPassConfig`]).
+    pub fn with_final_pass(mut self, pass: FinalPassConfig) -> Self {
+        self.final_pass = Some(pass);
+        self
+    }
+
     /// Maximum raw edges buffered before a leaf reduction fires: half the budget (the
     /// other half is reserved for the pending sparsifiers of the tree).
     ///
@@ -169,20 +270,45 @@ impl StreamConfig {
         (self.budget_edges / 8).max(1)
     }
 
-    /// The ε spent by a reduction at application depth `j` (see the type docs).
+    /// The ε fraction reserved for the final pass (0 when no pass is configured).
+    pub fn final_pass_epsilon(&self) -> f64 {
+        self.final_pass
+            .as_ref()
+            .map(|fp| self.epsilon * fp.epsilon_fraction)
+            .unwrap_or(0.0)
+    }
+
+    /// The ε available to the merge-and-reduce tree: `ε_total` minus the final-pass
+    /// reservation. Without a final pass this is exactly `ε_total`, so the schedule —
+    /// and every fixed-seed output — is unchanged from the pass-free engine.
+    pub fn tree_epsilon(&self) -> f64 {
+        self.epsilon - self.final_pass_epsilon()
+    }
+
+    /// The ε spent by a reduction at application depth `j` (see the type docs; the
+    /// geometric schedule is taken over [`StreamConfig::tree_epsilon`]).
     pub fn level_epsilon(&self, j: usize) -> f64 {
-        let eps = self.epsilon * (1.0 - self.level_ratio) * self.level_ratio.powi(j as i32);
+        let eps = self.tree_epsilon() * (1.0 - self.level_ratio) * self.level_ratio.powi(j as i32);
         // Very deep (forced) chains would underflow to 0, which SparsifyConfig
         // rejects; clamp to a subnormal-free floor. ε this small is pure accounting.
         eps.max(1e-300)
     }
 
     /// The `SparsifyConfig` for reduction number `index` at application depth `j`.
+    ///
+    /// Depth 0 gets [`StreamConfig::leaf_sampling`], everything deeper (including
+    /// forced reductions) gets [`StreamConfig::interior_sampling`].
     pub(crate) fn reduction_config(&self, j: usize, index: u64) -> SparsifyConfig {
+        let sampling = if j == 0 {
+            self.leaf_sampling.clone()
+        } else {
+            self.interior_sampling.clone()
+        };
         let mut cfg = SparsifyConfig::new(self.level_epsilon(j).min(1.0), self.rho)
             .with_bundle_sizing(self.bundle_sizing)
             .with_keep_probability(self.keep_probability)
             .with_parallel(self.parallel)
+            .with_sampling(sampling)
             .with_seed(splitmix64(
                 splitmix64(self.seed ^ (j as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ index,
             ));
@@ -250,5 +376,36 @@ mod tests {
     #[should_panic(expected = "level ratio")]
     fn rejects_bad_level_ratio() {
         let _ = StreamConfig::new(0.5, 100).with_level_ratio(1.0);
+    }
+
+    #[test]
+    fn final_pass_reserves_epsilon_fraction() {
+        let plain = StreamConfig::new(0.6, 1000);
+        assert_eq!(plain.final_pass_epsilon(), 0.0);
+        assert_eq!(plain.tree_epsilon(), 0.6);
+
+        let with_pass = StreamConfig::new(0.6, 1000)
+            .with_final_pass(FinalPassConfig::new().with_epsilon_fraction(0.5));
+        assert!((with_pass.final_pass_epsilon() - 0.3).abs() < 1e-12);
+        assert!((with_pass.tree_epsilon() - 0.3).abs() < 1e-12);
+        // Tree schedule + pass reservation still sums to ε_total.
+        let tree_sum: f64 = (0..200).map(|j| with_pass.level_epsilon(j)).sum();
+        assert!(tree_sum + with_pass.final_pass_epsilon() <= 0.6 + 1e-9);
+    }
+
+    #[test]
+    fn per_depth_sampling_policy_selection() {
+        use sgs_core::SamplingPolicy;
+        let cfg = StreamConfig::new(0.5, 1000)
+            .with_interior_sampling(SamplingPolicy::effective_resistance(4, 1e-3));
+        assert_eq!(cfg.reduction_config(0, 0).sampling.name(), "uniform");
+        assert_eq!(
+            cfg.reduction_config(1, 0).sampling.name(),
+            "effective-resistance"
+        );
+        assert_eq!(
+            cfg.reduction_config(3, 2).sampling.name(),
+            "effective-resistance"
+        );
     }
 }

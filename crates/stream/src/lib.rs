@@ -47,15 +47,15 @@ pub mod config;
 pub mod sparsifier;
 pub mod stats;
 
-pub use config::StreamConfig;
+pub use config::{FinalPassConfig, StreamConfig};
 pub use sparsifier::{StreamOutput, StreamSparsifier};
-pub use stats::{LevelStats, StreamStats};
+pub use stats::{ErPassStats, LevelStats, StreamStats};
 
 /// Commonly used items for downstream crates and examples.
 pub mod prelude {
-    pub use crate::config::StreamConfig;
+    pub use crate::config::{FinalPassConfig, StreamConfig};
     pub use crate::sparsifier::{StreamOutput, StreamSparsifier};
-    pub use crate::stats::{LevelStats, StreamStats};
+    pub use crate::stats::{ErPassStats, LevelStats, StreamStats};
 }
 
 #[cfg(test)]
@@ -270,6 +270,64 @@ mod tests {
         // this repo): assert a healthy two-sided envelope rather than the paper ε.
         assert!(b.lower > 0.2, "lower {b:?}");
         assert!(b.upper < 4.0, "upper {b:?}");
+    }
+
+    #[test]
+    fn er_policy_and_final_pass_shrink_output_within_ledger() {
+        use sgs_core::SamplingPolicy;
+        let g = generators::erdos_renyi(300, 0.4, 1.0, 29);
+        let base = cfg(g.m() / 4, 7);
+        let er = base
+            .clone()
+            .with_interior_sampling(SamplingPolicy::effective_resistance(4, 1e-3))
+            .with_final_pass(
+                // The pass budget is q = c · n log n / ε²; with ε_pass = ε_total/3 the
+                // ε² denominator inflates q, so the compressing regime needs a small c
+                // (the default 0.25 short-circuits on tree outputs this small).
+                FinalPassConfig::new()
+                    .with_oversample(0.04)
+                    .with_jl_dims(4)
+                    .with_cg_tol(1e-3),
+            );
+        let uniform_out = stream_in_batches(&g, &base, 8);
+        let er_out = stream_in_batches(&g, &er, 8);
+        // The pass ran, its ledger is recorded, and ε stays within ε_total.
+        let pass = er_out.stats.er_pass.as_ref().expect("final pass ledger");
+        assert!(pass.resampled, "pass should resample: {pass:?}");
+        assert_eq!(pass.m_out, er_out.sparsifier.m() as u64);
+        assert!(er_out.stats.epsilon_spent() <= 0.75 + 1e-12);
+        // The ER path must compress strictly better than the uniform path.
+        assert!(
+            er_out.sparsifier.m() < uniform_out.sparsifier.m(),
+            "er m_out {} vs uniform {}",
+            er_out.sparsifier.m(),
+            uniform_out.sparsifier.m()
+        );
+        assert!(sgs_graph::connectivity::is_connected(&er_out.sparsifier));
+        // Batch-chop invariance holds on the ER path too.
+        let rechopped = stream_in_batches(&g, &er, 33);
+        assert_eq!(er_out.sparsifier.edges(), rechopped.sparsifier.edges());
+        assert_eq!(er_out.stats.er_pass, rechopped.stats.er_pass);
+    }
+
+    #[test]
+    fn final_pass_short_circuit_leaves_output_unchanged() {
+        // Paper-faithful oversampling: the pass's budget covers any practical input,
+        // so it must return the tree output untouched and charge no ε.
+        let g = generators::erdos_renyi(200, 0.3, 1.0, 11);
+        let base = cfg(g.m() / 3, 5);
+        let with_pass = base
+            .clone()
+            .with_final_pass(FinalPassConfig::new().with_oversample(24.0));
+        let plain = stream_in_batches(&g, &base, 6);
+        let passed = stream_in_batches(&g, &with_pass, 6);
+        let ledger = passed.stats.er_pass.as_ref().expect("pass ledger");
+        assert!(!ledger.resampled);
+        assert_eq!(ledger.solves, 0);
+        // ε accounting: the no-op pass costs nothing, but the tree ran at the reduced
+        // (1 − f) ε_total schedule, so outputs legitimately differ from `plain`.
+        assert!(passed.stats.epsilon_spent() <= plain.stats.epsilon_spent() + 1e-12);
+        assert_eq!(ledger.m_in, ledger.m_out);
     }
 
     #[test]

@@ -3,12 +3,12 @@
 use std::io::BufRead;
 use std::mem;
 
-use sgs_core::SparsifyEngine;
+use sgs_core::{ErPassConfig, SparsifyEngine};
 use sgs_graph::io::EdgeBatchReader;
 use sgs_graph::{ops, Edge, Graph, Result};
 
 use crate::config::StreamConfig;
-use crate::stats::StreamStats;
+use crate::stats::{ErPassStats, StreamStats};
 
 /// Result of a streaming run: the final sparsifier plus the accounting that backs the
 /// memory and accuracy claims.
@@ -360,7 +360,7 @@ impl StreamSparsifier {
                 self.push_node(i + 1, node);
             }
         }
-        let sparsifier = self
+        let mut sparsifier = self
             .levels
             .iter_mut()
             .find_map(|l| l.pop())
@@ -371,6 +371,30 @@ impl StreamSparsifier {
             .iter()
             .rposition(|l| l.reductions > 0)
             .map_or(0, |j| j + 1);
+
+        // Optional ER-weighted final pass: resample the finished sparsifier with
+        // Spielman–Srivastava probabilities at the reserved fraction of ε_total. The
+        // sparsifier at this point is small (≲ budget/2 edges), so the pass's handful
+        // of CG solves runs on the cheapest graph the stream ever produces.
+        if let Some(fp) = self.cfg.final_pass.clone() {
+            let pass_eps = self.cfg.final_pass_epsilon().min(1.0);
+            let pass_cfg = ErPassConfig::new(pass_eps)
+                .with_oversample(fp.oversample)
+                .with_jl_dims(fp.jl_dims)
+                .with_cg_tol(fp.cg_tol)
+                .with_parallel(self.cfg.parallel)
+                .with_seed(self.cfg.seed ^ 0xF1A1_9A55_0000_00ED);
+            let out = self.engine.resparsify_er(&sparsifier, &pass_cfg);
+            self.stats.er_pass = Some(ErPassStats {
+                epsilon: pass_eps,
+                m_in: out.m_in as u64,
+                m_out: out.m_out as u64,
+                solves: out.solves as u64,
+                resampled: out.resampled,
+            });
+            sparsifier = out.sparsifier;
+        }
+
         StreamOutput {
             sparsifier,
             stats: self.stats,

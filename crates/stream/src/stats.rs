@@ -24,6 +24,23 @@ pub struct LevelStats {
     pub sampling_work: u64,
 }
 
+/// Ledger entry of the ER-weighted final pass (when `StreamConfig::final_pass` is
+/// set and `finish` ran it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ErPassStats {
+    /// The ε reserved for (and, if `resampled`, spent by) the pass.
+    pub epsilon: f64,
+    /// Edges entering the pass (the tree's final sparsifier).
+    pub m_in: u64,
+    /// Edges surviving the pass.
+    pub m_out: u64,
+    /// Laplacian solves performed by the resistance estimate.
+    pub solves: u64,
+    /// Whether the pass actually resampled; `false` means it short-circuited (its
+    /// sample budget covered the input) and spent no accuracy.
+    pub resampled: bool,
+}
+
 /// Aggregated counters for one streaming run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StreamStats {
@@ -47,6 +64,8 @@ pub struct StreamStats {
     pub final_depth: usize,
     /// Per-depth ledger, indexed by application depth.
     pub levels: Vec<LevelStats>,
+    /// Ledger of the ER-weighted final pass, `None` unless one was configured and ran.
+    pub er_pass: Option<ErPassStats>,
 }
 
 impl StreamStats {
@@ -66,11 +85,20 @@ impl StreamStats {
     /// charged). Always at most the configured `ε_total` — this is the accounting side
     /// of the end-to-end `(1 ± ε_total)` guarantee.
     pub fn epsilon_spent(&self) -> f64 {
-        self.levels
+        let tree: f64 = self
+            .levels
             .iter()
             .filter(|l| l.sampling_work > 0)
             .map(|l| l.epsilon)
-            .sum()
+            .sum();
+        // The final pass only charges its reservation when it actually resampled.
+        let pass = self
+            .er_pass
+            .as_ref()
+            .filter(|p| p.resampled)
+            .map(|p| p.epsilon)
+            .unwrap_or(0.0);
+        tree + pass
     }
 
     /// Total work proxy across all reductions (spanner + sampling operations), the
@@ -114,5 +142,22 @@ mod tests {
         assert_eq!(s.epsilon_spent(), 0.0);
         assert_eq!(s.total_work(), 0);
         assert_eq!(s.peak_resident_edges, 0);
+        assert!(s.er_pass.is_none());
+    }
+
+    #[test]
+    fn er_pass_charges_epsilon_only_when_resampled() {
+        let mut s = StreamStats::default();
+        s.level_mut(0, 0.25).sampling_work += 1;
+        s.er_pass = Some(ErPassStats {
+            epsilon: 0.1,
+            m_in: 100,
+            m_out: 100,
+            solves: 0,
+            resampled: false,
+        });
+        assert!((s.epsilon_spent() - 0.25).abs() < 1e-12);
+        s.er_pass.as_mut().unwrap().resampled = true;
+        assert!((s.epsilon_spent() - 0.35).abs() < 1e-12);
     }
 }

@@ -49,7 +49,7 @@ fn main() {
         let cfg = SparsifyConfig::new(0.5, 2.0)
             .with_bundle_sizing(BundleSizing::Fixed(t))
             .with_seed(5);
-        let out = distributed_sample(&g, 0.5, &cfg);
+        let out = distributed_sample(&g, &cfg);
         println!(
             "{:>3} {:>10} {:>10} {:>12} {:>12}",
             t,

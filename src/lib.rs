@@ -20,8 +20,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use spectral_sparsify::graph::generators;
-//! use spectral_sparsify::sparsify::{parallel_sparsify, BundleSizing, SparsifyConfig};
+//! use spectral_sparsify::prelude::*;
 //!
 //! let g = generators::erdos_renyi(300, 0.3, 1.0, 7);
 //! let cfg = SparsifyConfig::new(0.5, 4.0)
@@ -43,3 +42,28 @@ pub use sgs_stream as stream;
 
 /// Version string of the reproduction suite.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// One-import surface for examples, tests and downstream users: the graph type and
+/// generators, the one-shot and engine sparsifier entry points with their configs and
+/// sampling strategies, the ER final pass, and the streaming engine.
+///
+/// ```
+/// use spectral_sparsify::prelude::*;
+///
+/// let g = generators::erdos_renyi(200, 0.3, 1.0, 1);
+/// let mut engine = SparsifyEngine::new();
+/// let cfg = SparsifyConfig::new(0.5, 2.0)
+///     .with_bundle_sizing(BundleSizing::Fixed(3))
+///     .with_sampling(SamplingPolicy::effective_resistance(4, 1e-3));
+/// let out = engine.sample(&g, &cfg);
+/// assert!(out.sparsifier.m() <= g.m());
+/// ```
+pub mod prelude {
+    pub use sgs_core::{
+        edge_coin, parallel_sample, parallel_sparsify, resparsify_er, BundleSizing, ErPassConfig,
+        ErPassOutput, SampleOutput, SamplingPolicy, SamplingStrategy, SparsifyConfig,
+        SparsifyEngine, SparsifyOutput,
+    };
+    pub use sgs_graph::{generators, Edge, Graph};
+    pub use sgs_stream::{FinalPassConfig, StreamConfig, StreamOutput, StreamSparsifier};
+}

@@ -198,7 +198,7 @@ fn print_current_fixtures() {
     for &name in FIXTURE_GRAPHS {
         let g = graph(name);
         for &seed in FIXTURE_SEEDS {
-            let out = distributed_sample(&g, 0.75, &sample_cfg(seed));
+            let out = distributed_sample(&g, &sample_cfg(seed));
             println!(
                 "    (\"{name}\", {seed}, {}, {}, {:#018x}, {}, {}, {}),",
                 out.bundle_edges,
@@ -239,7 +239,7 @@ fn distributed_sample_matches_fixtures() {
     assert!(!GOLDEN_SAMPLE.is_empty(), "fixtures not captured");
     for &(name, seed, bundle, m_out, fp, rounds, messages, bits) in GOLDEN_SAMPLE {
         let g = graph(name);
-        let out = distributed_sample(&g, 0.75, &sample_cfg(seed));
+        let out = distributed_sample(&g, &sample_cfg(seed));
         assert_eq!(
             (
                 out.bundle_edges,

@@ -12,9 +12,10 @@ use spectral_sparsify::graph::{generators, stretch};
 use spectral_sparsify::linalg::{approx_effective_resistances, CsrMatrix};
 use spectral_sparsify::spanner::{baswana_sen_spanner, t_bundle, BundleConfig, SpannerConfig};
 use spectral_sparsify::sparsify::{
-    parallel_sample, parallel_sparsify, BundleSizing, SparsifyConfig,
+    parallel_sample, parallel_sparsify, resparsify_er, BundleSizing, ErPassConfig, SamplingPolicy,
+    SparsifyConfig,
 };
-use spectral_sparsify::stream::{StreamConfig, StreamSparsifier};
+use spectral_sparsify::stream::{FinalPassConfig, StreamConfig, StreamSparsifier};
 
 /// Runs `op` pinned to a pool of `threads` threads.
 fn on_pool<R>(threads: usize, op: impl FnOnce() -> R) -> R {
@@ -80,8 +81,8 @@ fn sampling_is_identical_across_thread_counts() {
     let cfg = SparsifyConfig::new(0.5, 2.0)
         .with_bundle_sizing(BundleSizing::Fixed(3))
         .with_seed(17);
-    let a = on_pool(1, || parallel_sample(&g, 0.5, &cfg));
-    let b = on_pool(4, || parallel_sample(&g, 0.5, &cfg));
+    let a = on_pool(1, || parallel_sample(&g, &cfg));
+    let b = on_pool(4, || parallel_sample(&g, &cfg));
     assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
     assert_eq!(a.bundle_edges, b.bundle_edges);
     assert_eq!(a.sampled_edges, b.sampled_edges);
@@ -97,6 +98,74 @@ fn full_sparsifier_is_byte_identical_across_thread_counts() {
     let b = on_pool(4, || parallel_sparsify(&g, &cfg));
     assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
     assert_eq!(a.stats.total_work(), b.stats.total_work());
+}
+
+#[test]
+fn er_strategy_sparsifier_is_byte_identical_across_thread_counts() {
+    // The leverage-aware strategy solves Laplacians per round (parallel CG rows) and
+    // normalises scores sequentially, so its thresholds — and therefore the sampled
+    // stream — must be byte-identical at any pool width.
+    let g = generators::erdos_renyi(300, 0.2, 1.0, 33);
+    let cfg = SparsifyConfig::new(0.5, 4.0)
+        .with_bundle_sizing(BundleSizing::Fixed(3))
+        .with_sampling(SamplingPolicy::effective_resistance(4, 1e-3))
+        .with_seed(7);
+    let a = on_pool(1, || parallel_sparsify(&g, &cfg));
+    let b = on_pool(4, || parallel_sparsify(&g, &cfg));
+    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+    for (x, y) in a.sparsifier.edges().iter().zip(b.sparsifier.edges()) {
+        assert_eq!(x.w.to_bits(), y.w.to_bits());
+    }
+    assert_eq!(a.stats.total_work(), b.stats.total_work());
+}
+
+#[test]
+fn er_final_pass_is_byte_identical_across_thread_counts() {
+    let g = generators::erdos_renyi(300, 0.3, 1.0, 21);
+    let cfg = ErPassConfig::new(0.5)
+        .with_oversample(0.25)
+        .with_jl_dims(4)
+        .with_cg_tol(1e-3)
+        .with_seed(11);
+    let a = on_pool(1, || resparsify_er(&g, &cfg));
+    let b = on_pool(4, || resparsify_er(&g, &cfg));
+    assert!(a.resampled && b.resampled);
+    assert_eq!(a.solves, b.solves);
+    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+    for (x, y) in a.sparsifier.edges().iter().zip(b.sparsifier.edges()) {
+        assert_eq!(x.w.to_bits(), y.w.to_bits());
+    }
+}
+
+#[test]
+fn er_configured_stream_is_identical_across_thread_counts() {
+    // The full leverage-aware streaming stack: ER interior sampling plus the
+    // ER-weighted final pass, pinned across pool widths like the uniform stream.
+    let g = generators::erdos_renyi(300, 0.3, 1.0, 29);
+    let cfg = StreamConfig::new(0.75, g.m() / 4)
+        .with_bundle_sizing(BundleSizing::Fixed(2))
+        .with_interior_sampling(SamplingPolicy::effective_resistance(4, 1e-3))
+        .with_final_pass(
+            FinalPassConfig::new()
+                .with_oversample(0.04)
+                .with_jl_dims(4)
+                .with_cg_tol(1e-3),
+        )
+        .with_seed(13);
+    let run = || {
+        let mut s = StreamSparsifier::new(g.n(), cfg.clone());
+        for chunk in g.edges().chunks(997) {
+            s.ingest_batch(chunk).unwrap();
+        }
+        s.finish()
+    };
+    let a = on_pool(1, run);
+    let b = on_pool(4, run);
+    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
+    for (x, y) in a.sparsifier.edges().iter().zip(b.sparsifier.edges()) {
+        assert_eq!(x.w.to_bits(), y.w.to_bits());
+    }
+    assert_eq!(a.stats, b.stats);
 }
 
 #[test]

@@ -134,8 +134,8 @@ fn distributed_and_shared_memory_sparsifiers_are_comparable() {
     let cfg = SparsifyConfig::new(0.5, 2.0)
         .with_bundle_sizing(BundleSizing::Fixed(3))
         .with_seed(6);
-    let shared = parallel_sample(&g, 0.5, &cfg);
-    let dist = distributed_sample(&g, 0.5, &cfg);
+    let shared = parallel_sample(&g, &cfg);
+    let dist = distributed_sample(&g, &cfg);
     let ratio = shared.sparsifier.m() as f64 / dist.sparsifier.m() as f64;
     assert!(ratio > 0.5 && ratio < 2.0, "size ratio {ratio}");
     assert!(is_connected(&shared.sparsifier));

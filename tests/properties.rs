@@ -98,7 +98,7 @@ proptest! {
         let cfg = SparsifyConfig::new(0.5, 2.0)
             .with_bundle_sizing(BundleSizing::Fixed(2))
             .with_seed(seed);
-        let out = parallel_sample(&g, 0.5, &cfg);
+        let out = parallel_sample(&g, &cfg);
         prop_assert_eq!(out.sparsifier.n(), g.n());
         prop_assert!(connectivity::is_connected(&out.sparsifier));
         prop_assert!(out.sparsifier.m() <= g.m());
@@ -236,6 +236,47 @@ proptest! {
             prop_assert!(out.stats.epsilon_spent() <= eps_total + 1e-12);
             // The batch chop never changes the edge-count bound.
             prop_assert!(out.sparsifier.m() <= g.m());
+        }
+    }
+
+    /// The ER-weighted final pass under the paper-faithful oversampling constant:
+    /// `q = 24 · n log n / ε²` exceeds any input this strategy generates, so the pass
+    /// must short-circuit honestly — zero solves, no ε charged — and the end-to-end
+    /// certification of the tree (run at its reduced ε reservation) must stay within
+    /// the configured ε_total. (The compressing small-constant regime is pinned by
+    /// `tests/golden_er.rs`.)
+    #[test]
+    fn er_final_pass_preserves_certification_with_faithful_constants(
+        g in connected_graph(),
+        salt in 0u64..500,
+    ) {
+        let eps_total = 0.6f64;
+        for stream_seed in [11u64, 22, 33] {
+            let cfg = spectral_sparsify::stream::StreamConfig::new(eps_total, (g.m() / 2).max(16))
+                .with_bundle_sizing(BundleSizing::Paper)
+                .with_seed(stream_seed)
+                .with_final_pass(
+                    spectral_sparsify::stream::FinalPassConfig::new()
+                        .with_oversample(24.0)
+                        .with_jl_dims(4)
+                        .with_cg_tol(1e-3),
+                );
+            let out = stream_with_batches(&g, &cfg, &random_batches(g.m(), salt));
+            let pass = out.stats.er_pass.as_ref().expect("final pass configured");
+            prop_assert!(!pass.resampled, "faithful q must cover the input");
+            prop_assert_eq!(pass.solves, 0);
+            prop_assert_eq!(pass.m_in, pass.m_out);
+            let bounds = spectral_sparsify::linalg::spectral::approximation_bounds(
+                &g,
+                &out.sparsifier,
+                &spectral_sparsify::linalg::spectral::CertifyOptions::default(),
+            );
+            prop_assert!(
+                bounds.within_epsilon(eps_total),
+                "seed {}: bounds {:?} outside 1±{}", stream_seed, bounds, eps_total
+            );
+            prop_assert!(out.stats.epsilon_spent() <= eps_total + 1e-12);
+            prop_assert!(connectivity::is_connected(&out.sparsifier));
         }
     }
 }

@@ -104,7 +104,7 @@ fn disconnected_inputs_stay_disconnected() {
     let cfg = SparsifyConfig::new(0.5, 2.0)
         .with_bundle_sizing(BundleSizing::Fixed(2))
         .with_seed(1);
-    let out = parallel_sample(&g, 0.5, &cfg);
+    let out = parallel_sample(&g, &cfg);
     let (_, count) = connectivity::connected_components(&out.sparsifier);
     assert_eq!(count, 2);
 }

@@ -100,7 +100,7 @@ fn theorem_4_output_size_and_weight() {
     let cfg = SparsifyConfig::new(0.5, 2.0)
         .with_bundle_sizing(BundleSizing::Fixed(2))
         .with_seed(23);
-    let out = parallel_sample(&g, 0.5, &cfg);
+    let out = parallel_sample(&g, &cfg);
     let off_bundle = g.m() - out.stats.bundle_edges_per_round[0];
     let expected = out.stats.bundle_edges_per_round[0] as f64 + off_bundle as f64 / 4.0;
     let got = out.sparsifier.m() as f64;
