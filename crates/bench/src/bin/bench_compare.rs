@@ -1,19 +1,29 @@
 //! Perf-trajectory gate: compares two `exp_scaling --bench-json` snapshots and fails
 //! (exit code 1) when a watched metric regressed by more than the allowed fraction on
-//! the single-thread row.
+//! the single-thread row, or when the candidate's multicore speedup falls below a
+//! requested floor.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p sgs-bench --bin bench_compare -- \
-//!     BENCH_3.json BENCH_ci.json [--max-regress 0.25] [--metrics spanner_ms,sparsify_ms]
+//!     BENCH_3.json BENCH_ci.json [--max-regress 0.25] [--metrics spanner_ms,sparsify_ms] \
+//!     [--min-speedup 1.8 --speedup-metric sparsify_ms --speedup-threads 4]
 //! ```
 //!
 //! The baseline and candidate must describe the same workload (the tool refuses to
-//! compare apples to oranges). Only the `threads = 1` row is gated: multi-thread
-//! wall-clock depends on the host's core count, which differs between the machine that
-//! committed the baseline and the CI runner, while single-thread time is the
-//! architecture-stable signal the >25% budget is meant for.
+//! compare apples to oranges). Only the `threads = 1` row is gated on regressions:
+//! multi-thread wall-clock depends on the host's core count, which differs between the
+//! machine that committed the baseline and the CI runner, while single-thread time is
+//! the architecture-stable signal the >25% budget is meant for. When the two
+//! snapshots' `host_cores` differ, the tool says so explicitly — their multi-thread
+//! rows are not comparable to each other.
+//!
+//! The `--min-speedup` gate is *candidate-internal*: it divides the candidate's own
+//! `threads = 1` wall-clock by its `threads = T` wall-clock, so it needs no
+//! cross-host baseline. If the candidate snapshot was captured on fewer than `T`
+//! cores (e.g. a 1-core container, where every speedup is legitimately ~1.0×), the
+//! gate is skipped with a warning instead of failing.
 //!
 //! The vendored `serde_json` shim is serialize-only, so this tool carries a minimal
 //! field scanner for the snapshot layout `exp_scaling` itself emits (string fields and
@@ -56,6 +66,21 @@ fn row_metric(json: &str, row_label: &str, metric: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
+/// Extracts the numeric value of a top-level `"key": N` field (e.g. `host_cores`).
+/// Distinct from [`row_metric`]: snapshot scalars are plain JSON fields, not
+/// `["name", number]` row pairs.
+fn number_field(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = json.find(&pat)?;
+    let rest = &json[at + pat.len()..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
@@ -80,6 +105,13 @@ fn run(args: &[String]) -> Result<(), String> {
     let metrics: Vec<String> = flag_value(args, "--metrics")
         .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
         .unwrap_or_else(|| vec!["spanner_ms".to_string(), "sparsify_ms".to_string()]);
+    let min_speedup: Option<f64> =
+        flag_value(args, "--min-speedup").map(|v| v.parse().expect("--min-speedup takes a float"));
+    let speedup_metric =
+        flag_value(args, "--speedup-metric").unwrap_or_else(|| "sparsify_ms".to_string());
+    let speedup_threads: usize = flag_value(args, "--speedup-threads")
+        .map(|v| v.parse().expect("--speedup-threads takes an integer"))
+        .unwrap_or(4);
 
     let baseline = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("reading {baseline_path}: {e}"))?;
@@ -94,6 +126,20 @@ fn run(args: &[String]) -> Result<(), String> {
         return Err(format!(
             "workload mismatch: baseline is {wl_base}, candidate is {wl_cur}"
         ));
+    }
+
+    let cores_base = number_field(&baseline, "host_cores");
+    let cores_cur = number_field(&current, "host_cores");
+    if cores_base != cores_cur {
+        // Wall-clock rows from different hosts are not mutually comparable; the
+        // regression gate below stays valid because it reads only the
+        // architecture-stable threads = 1 row, but say so loudly.
+        println!(
+            "note: host_cores differ (baseline {}, candidate {}); multi-thread rows are not \
+             cross-comparable, gating only the single-thread row",
+            cores_base.map_or("?".to_string(), |c| format!("{c:.0}")),
+            cores_cur.map_or("?".to_string(), |c| format!("{c:.0}")),
+        );
     }
 
     let row = "threads = 1";
@@ -118,11 +164,46 @@ fn run(args: &[String]) -> Result<(), String> {
         };
         println!("  {metric:>12}: {base:10.3} ms -> {cur:10.3} ms  ({ratio:5.2}x)  {verdict}");
     }
+
+    if let Some(min) = min_speedup {
+        // Candidate-internal: threads = 1 vs threads = T from the *same* snapshot, so
+        // no cross-host baseline is involved.
+        match cores_cur {
+            Some(cores) if cores >= speedup_threads as f64 => {
+                let t_row = format!("threads = {speedup_threads}");
+                let one = row_metric(&current, row, &speedup_metric).ok_or_else(|| {
+                    format!("{current_path}: missing {speedup_metric} in '{row}' row")
+                })?;
+                let many = row_metric(&current, &t_row, &speedup_metric).ok_or_else(|| {
+                    format!("{current_path}: missing {speedup_metric} in '{t_row}' row")
+                })?;
+                let speedup = one / many;
+                if speedup < min {
+                    println!(
+                        "  {speedup_metric} speedup @ {speedup_threads} threads: {speedup:.2}x < {min:.2}x  SCALING FAILURE"
+                    );
+                    failures.push(format!(
+                        "{speedup_metric} speedup ({speedup:.2}x < {min:.2}x)"
+                    ));
+                } else {
+                    println!(
+                        "  {speedup_metric} speedup @ {speedup_threads} threads: {speedup:.2}x >= {min:.2}x  ok"
+                    );
+                }
+            }
+            Some(cores) => println!(
+                "  speedup gate SKIPPED: candidate snapshot captured on {cores:.0} core(s) < \
+                 {speedup_threads} gate threads (speedups ~1.0x are expected there)"
+            ),
+            None => println!("  speedup gate SKIPPED: candidate snapshot has no host_cores field"),
+        }
+    }
+
     if failures.is_empty() {
         Ok(())
     } else {
         Err(format!(
-            "single-thread regression over {:.0}% in: {}",
+            "perf gate failed ({:.0}% single-thread budget): {}",
             max_regress * 100.0,
             failures.join(", ")
         ))
@@ -160,12 +241,33 @@ mod tests {
   ]
 }"#;
 
+    /// A 4-core capture of the same workload: threads = 4 runs 2.4x faster than
+    /// threads = 1, which clears a 1.8x speedup floor.
+    const SNAPSHOT_4CORE: &str = r#"{
+  "bench": "exp_scaling",
+  "workload": "er(n=4000,deg=150)",
+  "host_cores": 4,
+  "rows": [
+    {
+      "label": "threads = 1",
+      "values": [["threads", 1], ["sparsify_ms", 660.0], ["spanner_ms", 120.0]]
+    },
+    {
+      "label": "threads = 4",
+      "values": [["threads", 4], ["sparsify_ms", 275.0], ["spanner_ms", 55.0]]
+    }
+  ]
+}"#;
+
     #[test]
     fn extracts_fields_and_row_metrics() {
         assert_eq!(
             string_field(SNAPSHOT, "workload").as_deref(),
             Some("er(n=4000,deg=150)")
         );
+        assert_eq!(number_field(SNAPSHOT, "host_cores"), Some(1.0));
+        assert_eq!(number_field(SNAPSHOT_4CORE, "host_cores"), Some(4.0));
+        assert_eq!(number_field(SNAPSHOT, "no_such_field"), None);
         let v = row_metric(SNAPSHOT, "threads = 1", "spanner_ms").unwrap();
         assert!((v - 119.033917).abs() < 1e-9);
         let v2 = row_metric(SNAPSHOT, "threads = 2", "sparsify_ms").unwrap();
@@ -201,5 +303,53 @@ mod tests {
         std::fs::write(&other_path, SNAPSHOT.replace("n=4000", "n=2000")).unwrap();
         let err = run(&argv(&other_path)).unwrap_err();
         assert!(err.contains("workload mismatch"), "{err}");
+    }
+
+    #[test]
+    fn speedup_gate_passes_fails_and_skips() {
+        let dir = std::env::temp_dir();
+        let base_path = dir.join("bench_compare_su_base.json");
+        let scaling_path = dir.join("bench_compare_su_ok.json");
+        let flat_path = dir.join("bench_compare_su_flat.json");
+        let onecore_path = dir.join("bench_compare_su_1core.json");
+        std::fs::write(&base_path, SNAPSHOT_4CORE).unwrap();
+        // Scales 2.4x at 4 threads.
+        std::fs::write(&scaling_path, SNAPSHOT_4CORE).unwrap();
+        // Barely scales: 660 -> 600 is 1.1x, under the 1.8x floor.
+        std::fs::write(&flat_path, SNAPSHOT_4CORE.replace("275.0", "600.0")).unwrap();
+        // Captured on a 1-core host: the gate must skip, not fail, even though the
+        // snapshot's own speedup is ~1.0x.
+        std::fs::write(
+            &onecore_path,
+            SNAPSHOT_4CORE
+                .replace("\"host_cores\": 4", "\"host_cores\": 1")
+                .replace("275.0", "660.0"),
+        )
+        .unwrap();
+        let argv = |cur: &std::path::Path| {
+            vec![
+                "bench_compare".to_string(),
+                base_path.to_string_lossy().into_owned(),
+                cur.to_string_lossy().into_owned(),
+                "--min-speedup".to_string(),
+                "1.8".to_string(),
+                "--speedup-metric".to_string(),
+                "sparsify_ms".to_string(),
+                "--speedup-threads".to_string(),
+                "4".to_string(),
+            ]
+        };
+        assert!(run(&argv(&scaling_path)).is_ok());
+        let err = run(&argv(&flat_path)).unwrap_err();
+        assert!(err.contains("speedup"), "{err}");
+        assert!(run(&argv(&onecore_path)).is_ok());
+        // Without --min-speedup the flat snapshot passes (regression gate only looks
+        // at the unchanged threads = 1 row).
+        let argv_nogate = vec![
+            "bench_compare".to_string(),
+            base_path.to_string_lossy().into_owned(),
+            flat_path.to_string_lossy().into_owned(),
+        ];
+        assert!(run(&argv_nogate).is_ok());
     }
 }

@@ -23,10 +23,14 @@
 //!
 //! Reading the output: `sparsify_ms` / `spanner_ms` / `bundle_ms` are wall-clock; the
 //! `*_speedup` columns are relative to the first (usually 1-thread) row, so ideal
-//! scaling shows `speedup ≈ threads` until the machine runs out of cores. `work_ops`,
-//! `m_out`, `spanner_edges` and `bundle_edges` must be **identical** across rows — the
-//! outputs are deterministic per seed regardless of the thread count; only the wall
-//! clock may change. `bench_compare` diffs two `--bench-json` snapshots and fails on
+//! scaling shows `speedup ≈ threads` until the machine runs out of cores. The
+//! `decide_ms` / `apply_ms` / `sweep_ms` / `join_ms` / `sampling_ms` columns break the
+//! sparsify wall-clock into the engine's phases — in particular `apply_ms` must shrink
+//! with the pool like `decide_ms` does, demonstrating that the decision commit is no
+//! longer a serial section. `work_ops`, `m_out`, `spanner_edges` and `bundle_edges`
+//! must be **identical** across rows — the outputs are deterministic per seed
+//! regardless of the thread count; only the wall clock (and hence the phase timings)
+//! may change. `bench_compare` diffs two `--bench-json` snapshots and fails on
 //! single-thread wall-clock regressions (the CI perf gate).
 
 use sgs_bench::{print_table, time_ms, Cli, Row, Workload};
@@ -75,6 +79,11 @@ fn main() {
             .push("threads", threads as f64)
             .push("sparsify_ms", sparsify_ms)
             .push("sparsify_speedup", baseline_sparsify / sparsify_ms)
+            .push("decide_ms", sparsify_out.phases.spanner.decide_ms)
+            .push("apply_ms", sparsify_out.phases.spanner.apply_ms)
+            .push("sweep_ms", sparsify_out.phases.spanner.sweep_ms)
+            .push("join_ms", sparsify_out.phases.spanner.join_ms)
+            .push("sampling_ms", sparsify_out.phases.sampling_ms)
             .push("spanner_ms", spanner_ms)
             .push("spanner_speedup", baseline_spanner / spanner_ms)
             .push("bundle_ms", bundle_ms)

@@ -1,0 +1,200 @@
+//! Perf-trajectory registry: appends an `exp_scaling --bench-json` snapshot as one
+//! JSONL row to the repo-root `PERF_HISTORY.jsonl`, so every CI scaling run on `main`
+//! leaves a queryable record (commit, host cores, full row set) instead of silently
+//! overwriting the previous number.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sgs-bench --bin perf_history -- \
+//!     BENCH_7.json --commit abc1234 [--source BENCH_7.json] [--history PERF_HISTORY.jsonl]
+//! ```
+//!
+//! Each line of the history is a self-contained JSON object:
+//!
+//! ```text
+//! {"commit":"abc1234","source":"BENCH_7.json","snapshot":{...}}
+//! ```
+//!
+//! where `snapshot` is the snapshot file verbatim, minified to one line. The snapshot
+//! already carries `workload`, `host_cores` and the per-thread rows, so a history line
+//! never needs the original file again. Appends are idempotent per (commit, source):
+//! re-running on the same commit is a no-op, so a CI retry doesn't duplicate rows.
+//!
+//! The vendored `serde_json` shim is serialize-only, so minification is textual: the
+//! input must already be valid JSON (which `exp_scaling` guarantees for its own
+//! output); this tool only strips inter-token whitespace, respecting string literals.
+
+use std::process::ExitCode;
+
+/// Strips whitespace outside string literals, collapsing a pretty-printed JSON
+/// document to one line. Not a validator: it assumes well-formed input.
+fn minify_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+        } else if c == '"' {
+            in_string = true;
+            out.push(c);
+        } else if !c.is_whitespace() {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let files: Vec<&String> = args
+        .iter()
+        .skip(1)
+        .take_while(|a| !a.starts_with("--"))
+        .collect();
+    let [snapshot_path] = files.as_slice() else {
+        return Err(
+            "usage: perf_history <snapshot.json> --commit SHA [--source LABEL] [--history PATH]"
+                .into(),
+        );
+    };
+    let commit = flag_value(args, "--commit").ok_or("--commit SHA is required")?;
+    let source = flag_value(args, "--source").unwrap_or_else(|| snapshot_path.to_string());
+    let history_path =
+        flag_value(args, "--history").unwrap_or_else(|| "PERF_HISTORY.jsonl".to_string());
+
+    let snapshot = std::fs::read_to_string(snapshot_path)
+        .map_err(|e| format!("reading {snapshot_path}: {e}"))?;
+    let line = format!(
+        "{{\"commit\":\"{}\",\"source\":\"{}\",\"snapshot\":{}}}",
+        escape_json(&commit),
+        escape_json(&source),
+        minify_json(&snapshot)
+    );
+
+    let existing = std::fs::read_to_string(&history_path).unwrap_or_default();
+    let key = format!(
+        "{{\"commit\":\"{}\",\"source\":\"{}\"",
+        escape_json(&commit),
+        escape_json(&source)
+    );
+    if existing.lines().any(|l| l.starts_with(&key)) {
+        println!("perf_history: {history_path} already has ({commit}, {source}); nothing to do");
+        return Ok(());
+    }
+
+    let mut out = existing;
+    if !out.is_empty() && !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out.push_str(&line);
+    out.push('\n');
+    std::fs::write(&history_path, out).map_err(|e| format!("writing {history_path}: {e}"))?;
+    println!("perf_history: appended ({commit}, {source}) to {history_path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("perf_history: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minify_strips_whitespace_but_not_string_contents() {
+        let pretty =
+            "{\n  \"workload\": \"er(n=4000, deg=150)\",\n  \"rows\": [ [\"a b\", 1.5] ]\n}";
+        assert_eq!(
+            minify_json(pretty),
+            "{\"workload\":\"er(n=4000, deg=150)\",\"rows\":[[\"a b\",1.5]]}"
+        );
+        // Escaped quotes inside strings don't terminate the literal.
+        assert_eq!(minify_json("{\"k\": \"a\\\" b\"}"), "{\"k\":\"a\\\" b\"}");
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn append_is_idempotent_per_commit_and_source() {
+        let dir = std::env::temp_dir();
+        let snap_path = dir.join("perf_history_snap.json");
+        let hist_path = dir.join("perf_history_test.jsonl");
+        std::fs::write(
+            &snap_path,
+            "{\n  \"workload\": \"er\",\n  \"host_cores\": 1\n}",
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(&hist_path);
+        let argv = |commit: &str| {
+            vec![
+                "perf_history".to_string(),
+                snap_path.to_string_lossy().into_owned(),
+                "--commit".to_string(),
+                commit.to_string(),
+                "--source".to_string(),
+                "BENCH_X.json".to_string(),
+                "--history".to_string(),
+                hist_path.to_string_lossy().into_owned(),
+            ]
+        };
+        run(&argv("aaa1111")).unwrap();
+        run(&argv("aaa1111")).unwrap(); // retry: must not duplicate
+        run(&argv("bbb2222")).unwrap();
+        let hist = std::fs::read_to_string(&hist_path).unwrap();
+        let lines: Vec<&str> = hist.lines().collect();
+        assert_eq!(lines.len(), 2, "{hist}");
+        assert_eq!(
+            lines[0],
+            "{\"commit\":\"aaa1111\",\"source\":\"BENCH_X.json\",\"snapshot\":{\"workload\":\"er\",\"host_cores\":1}}"
+        );
+        assert!(lines[1].starts_with("{\"commit\":\"bbb2222\""), "{hist}");
+    }
+
+    #[test]
+    fn missing_commit_is_an_error() {
+        let err = run(&["perf_history".to_string(), "x.json".to_string()]).unwrap_err();
+        assert!(err.contains("--commit"), "{err}");
+    }
+}

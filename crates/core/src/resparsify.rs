@@ -36,6 +36,16 @@ pub struct ErPassConfig {
     /// `c ≈ 9/δ²`-ish constants that exceed any practical input; values well below 1
     /// are where the pass actually reduces size (see `target_samples`).
     pub oversample: f64,
+    /// When `Some(shrink)`, the sample budget is auto-tuned from the *observed* input
+    /// size instead of the fixed `oversample` constant: the pass targets
+    /// `q ≈ m_in / shrink` edges (floored at `n`, the spanning-forest scale, so a
+    /// huge `shrink` cannot starve the skeleton). A fixed constant over- or
+    /// under-shoots whenever the input's density differs from the density it was
+    /// hand-tuned for; the auto mode makes "cut this graph by 4×" mean the same thing
+    /// at every density. Only the *thresholds* move — the coin stream
+    /// (`edge_coin(seed, id)`) is byte-identical to the fixed mode, per the strategy
+    /// contract.
+    pub auto_shrink: Option<f64>,
     /// Number of JL projection rows (= Laplacian solves).
     pub jl_dims: usize,
     /// CG relative-residual tolerance of each solve.
@@ -57,6 +67,7 @@ impl ErPassConfig {
         ErPassConfig {
             epsilon,
             oversample: 0.25,
+            auto_shrink: None,
             jl_dims: 8,
             cg_tol: 1e-4,
             seed: 0xC0FFEE,
@@ -64,10 +75,20 @@ impl ErPassConfig {
         }
     }
 
-    /// Overrides the oversampling constant.
+    /// Overrides the oversampling constant (and switches off auto-tuning).
     pub fn with_oversample(mut self, c: f64) -> Self {
         assert!(c > 0.0, "oversample must be positive");
         self.oversample = c;
+        self.auto_shrink = None;
+        self
+    }
+
+    /// Auto-tunes the sample budget from the observed input size: target
+    /// `m_in / shrink` kept edges instead of the fixed `oversample` constant
+    /// (see [`ErPassConfig::auto_shrink`]).
+    pub fn with_auto_oversample(mut self, shrink: f64) -> Self {
+        assert!(shrink >= 1.0, "shrink must be at least 1");
+        self.auto_shrink = Some(shrink);
         self
     }
 
@@ -100,6 +121,16 @@ impl ErPassConfig {
     /// The expected number of sampled edges: `oversample · n · log₂ n / ε²`.
     pub fn target_samples(&self, n: usize) -> f64 {
         self.oversample * n as f64 * (n.max(2) as f64).log2() / (self.epsilon * self.epsilon)
+    }
+
+    /// The sample budget the pass actually runs with for an input of `n` vertices and
+    /// `m_in` edges: [`ErPassConfig::target_samples`] in fixed mode, or
+    /// `max(m_in / shrink, n)` when auto-tuning is enabled.
+    pub fn resolved_target(&self, n: usize, m_in: usize) -> f64 {
+        match self.auto_shrink {
+            None => self.target_samples(n),
+            Some(shrink) => (m_in as f64 / shrink).max(n as f64),
+        }
     }
 }
 
@@ -134,7 +165,7 @@ pub(crate) fn resparsify_on_engine(
 ) -> ErPassOutput {
     let n = g.n();
     let m = g.m();
-    let q = cfg.target_samples(n);
+    let q = cfg.resolved_target(n, m);
 
     // Identity short-circuit: asking for at least as many samples as there are edges
     // means every probability would clamp to ~1 — return the input unchanged and spend
@@ -318,6 +349,64 @@ mod tests {
             assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
             assert_eq!(a.m_out, b.m_out);
         }
+    }
+
+    #[test]
+    fn auto_oversample_tracks_observed_input_size() {
+        // The same config must mean "cut by ~4x" at two very different densities —
+        // exactly what a fixed constant cannot do.
+        let cfg = pass_cfg().with_auto_oversample(4.0);
+        for (p, seed) in [(0.15, 5u64), (0.5, 9)] {
+            let g = generators::erdos_renyi(300, p, 1.0, seed);
+            let out = resparsify_er(&g, &cfg);
+            assert!(out.resampled);
+            let target = g.m() as f64 / 4.0;
+            let got = out.m_out as f64;
+            assert!(
+                (got - target).abs() < 4.0 * target.sqrt() + 0.05 * target,
+                "p={p}: m_out {got} vs target {target}"
+            );
+            assert!(is_connected(&out.sparsifier));
+        }
+    }
+
+    #[test]
+    fn auto_oversample_shrink_one_is_the_identity() {
+        // q = m_in / 1 = m_in triggers the short-circuit: nothing to thin.
+        let g = generators::erdos_renyi(200, 0.3, 1.0, 3);
+        let out = resparsify_er(&g, &pass_cfg().with_auto_oversample(1.0));
+        assert!(!out.resampled);
+        assert_eq!(out.sparsifier.edges(), g.edges());
+    }
+
+    #[test]
+    fn auto_mode_consumes_the_same_coin_stream_as_fixed_mode() {
+        // Auto-tuning only moves thresholds, never draws: a fixed config whose
+        // target_samples equals the auto budget must produce the identical output.
+        let g = generators::erdos_renyi(250, 0.4, 1.0, 17);
+        let (n, m) = (g.n(), g.m());
+        let auto = pass_cfg().with_auto_oversample(4.0);
+        let q = auto.resolved_target(n, m);
+        // Solve q = c · n log₂ n / ε² for the equivalent fixed constant.
+        let eps = auto.epsilon;
+        let c = q * eps * eps / (n as f64 * (n as f64).log2());
+        let fixed = pass_cfg().with_oversample(c);
+        let a = resparsify_er(&g, &auto);
+        let b = resparsify_er(&g, &fixed);
+        assert!(a.resampled && b.resampled);
+        // Compare kept edge identities (weights differ in the last ulps because the
+        // fixed constant is a float roundtrip of the auto budget).
+        let ids = |o: &ErPassOutput| -> Vec<(usize, usize)> {
+            o.sparsifier.edges().iter().map(|e| (e.u, e.v)).collect()
+        };
+        assert_eq!(ids(&a), ids(&b));
+    }
+
+    #[test]
+    fn with_oversample_resets_auto_mode() {
+        let cfg = pass_cfg().with_auto_oversample(8.0).with_oversample(0.3);
+        assert!(cfg.auto_shrink.is_none());
+        assert_eq!(cfg.resolved_target(100, 5000), cfg.target_samples(100));
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! probability `1 − 1/n²` (Theorem 4). In expectation the off-bundle edge count drops by
 //! a factor of 4 — the output has `O(n log³ n / ε² + m/2)` edges.
 
+use std::time::Instant;
+
 use rayon::prelude::*;
 
 use sgs_graph::{Edge, Graph};
@@ -21,7 +23,7 @@ use sgs_spanner::{t_bundle_on_engine, BundleConfig, SpannerConfig};
 
 use crate::config::SparsifyConfig;
 use crate::engine::SparsifyEngine;
-use crate::stats::WorkStats;
+use crate::stats::{PipelinePhases, WorkStats};
 use crate::strategy::SampleContext;
 
 /// SplitMix64 finalizer: one add-and-mix round with full 64-bit avalanche
@@ -68,6 +70,8 @@ pub struct SampleOutput {
     pub t: usize,
     /// Work counters for this round.
     pub stats: WorkStats,
+    /// Wall-clock phase breakdown of this round (excluded from determinism checks).
+    pub phases: PipelinePhases,
 }
 
 /// Runs one round of `PARALLELSAMPLE` on `g`.
@@ -119,6 +123,7 @@ pub(crate) fn sample_on_engine(
     // probabilities (leverage-aware sampling). Both branches consume the *same* coin
     // stream — a strategy only moves each edge's threshold, never its draw — so the
     // uniform path stays byte-identical to the original Algorithm 1 implementation.
+    let t_sampling = Instant::now();
     let seed = cfg.seed ^ 0xA5A5_5A5A_DEAD_BEEF;
     let ctx = SampleContext {
         graph: g,
@@ -174,6 +179,10 @@ pub(crate) fn sample_on_engine(
     let bundle_edges = bundle.bundle_size;
     let sampled_edges = kept.len() - bundle_edges;
     let sparsifier = Graph::from_edges_unchecked(n, kept);
+    let phases = PipelinePhases {
+        spanner: bundle.phases,
+        sampling_ms: t_sampling.elapsed().as_secs_f64() * 1e3,
+    };
 
     let stats = WorkStats {
         spanner_work: bundle.work,
@@ -190,6 +199,7 @@ pub(crate) fn sample_on_engine(
         sampled_edges,
         t,
         stats,
+        phases,
     }
 }
 

@@ -21,16 +21,21 @@
 //! * **Topology**: the neighbor check behind [`SyncNetwork::send`] is a binary search
 //!   in a sorted flat adjacency (CSR of neighbor ids), replacing per-vertex hash sets.
 //! * **Vertex programs** ([`SyncNetwork::par_step`]): one round of per-vertex execution
-//!   runs under rayon in fixed 256-vertex blocks. Each block stages its emissions into
-//!   a private buffer and the buffers are concatenated in block order, so the staged
-//!   stream is in sender order regardless of the worker interleaving — and because the
-//!   delivery sort is stable, every inbox comes out sorted by `(recipient, sender)`.
-//!   Fixed-seed protocol runs are therefore bitwise identical across thread counts,
-//!   the same guarantee the shared-memory engine gives (`tests/parallelism.rs`).
+//!   runs under rayon in contiguous vertex blocks cut by the density-aware
+//!   [`BlockPartition`](sgs_spanner::partition) (degree-load balanced, a few blocks
+//!   per thread, 64-vertex floor — the same partitioner the shared-memory engine
+//!   uses). Each block stages its emissions into a private buffer and the buffers are
+//!   concatenated in block order; blocks are ascending contiguous ranges, so the
+//!   staged stream is in sender order for *any* partition — and because the delivery
+//!   sort is stable, every inbox comes out sorted by `(recipient, sender)`. Fixed-seed
+//!   protocol runs (outputs and `NetworkMetrics`) are therefore bitwise identical
+//!   across thread counts even though the partition itself may vary with the pool
+//!   width (`tests/parallelism.rs`).
 
 use rayon::prelude::*;
 
 use sgs_graph::{Graph, NodeId};
+use sgs_spanner::BlockPartition;
 
 /// Something that can report its own size in bits, for communication accounting.
 ///
@@ -65,11 +70,6 @@ impl NetworkMetrics {
     }
 }
 
-/// Fixed vertex block size for [`SyncNetwork::par_step`]. Blocks — not threads — are
-/// the unit of work distribution, so the staged message order is a function of `n`
-/// only, never of the pool width (the shared-memory engine uses the same constant).
-const VERTEX_BLOCK: usize = 256;
-
 /// An inbox entry: the sender and the message.
 pub type Envelope<M> = (NodeId, M);
 
@@ -97,6 +97,9 @@ pub struct SyncNetwork<M> {
     /// Delivery scratch: per-recipient write cursors and the sort permutation.
     cursor: Vec<u32>,
     perm: Vec<u32>,
+    /// Cached [`BlockPartition`] for [`SyncNetwork::par_step`], keyed by the pool
+    /// width that built it (protocols run many rounds on one fixed topology).
+    part_cache: Option<(usize, BlockPartition)>,
     metrics: NetworkMetrics,
 }
 
@@ -132,6 +135,7 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
             inbox_buf: Vec::new(),
             cursor,
             perm: Vec::new(),
+            part_cache: None,
             metrics: NetworkMetrics::default(),
         }
     }
@@ -242,12 +246,14 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
     /// `step(scratch, block_out, v, inbox, outbox)` is invoked for every vertex: it may
     /// read the current round's inbox, emit messages through the outbox, and record
     /// per-block results in `block_out` (the per-block payloads are returned in block
-    /// order). Vertices are processed in fixed 256-vertex blocks under rayon;
-    /// `scratch` builds one reusable per-worker scratch value (the stamped-slot
-    /// pattern of the shared-memory engine). Emissions are staged in vertex order no
-    /// matter how blocks were interleaved across workers, so a subsequent
-    /// [`SyncNetwork::advance_round`] delivers inboxes sorted by `(recipient, sender)`
-    /// and the whole round is deterministic in the thread count.
+    /// order). Vertices are processed under rayon in contiguous blocks cut by the
+    /// density-aware [`BlockPartition`] (degree-balanced, a few blocks per thread,
+    /// 64-vertex floor; cached per pool width since the topology is fixed); `scratch`
+    /// builds one reusable per-worker scratch value (the stamped-slot pattern of the
+    /// shared-memory engine). Emissions are staged in vertex order for any partition
+    /// and any worker interleaving, so a subsequent [`SyncNetwork::advance_round`]
+    /// delivers inboxes sorted by `(recipient, sender)` and the whole round is
+    /// deterministic in the thread count.
     ///
     /// Note that this only *stages* messages — the caller decides when the round ends
     /// by calling [`SyncNetwork::advance_round`], which keeps multi-sweep rounds (e.g.
@@ -260,33 +266,43 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
         F: Fn(&mut T, &mut B, NodeId, &[Envelope<M>], &mut VertexOutbox<'_, M>) + Sync,
     {
         let n = self.n;
-        let n_blocks = n.div_ceil(VERTEX_BLOCK);
-        let inbox_offsets = &self.inbox_offsets;
-        let inbox_buf = &self.inbox_buf;
-        let nbr_offsets = &self.nbr_offsets;
-        let nbr_ids = &self.nbr_ids;
-        let out: Vec<(Vec<Staged<M>>, B)> = (0..n_blocks)
-            .into_par_iter()
-            .map_init(&scratch, |sc, block| {
-                let mut msgs: Vec<Staged<M>> = Vec::new();
-                let mut payload = B::default();
-                let start = block * VERTEX_BLOCK;
-                let end = (start + VERTEX_BLOCK).min(n);
-                for v in start..end {
-                    let inbox =
-                        &inbox_buf[inbox_offsets[v] as usize..inbox_offsets[v + 1] as usize];
-                    let neighbors = &nbr_ids[nbr_offsets[v] as usize..nbr_offsets[v + 1] as usize];
-                    let mut outbox = VertexOutbox {
-                        from: v as u32,
-                        neighbors,
-                        buf: &mut msgs,
-                    };
-                    step(sc, &mut payload, v, inbox, &mut outbox);
-                }
-                (msgs, payload)
-            })
-            .collect();
-        let mut payloads = Vec::with_capacity(n_blocks);
+        let threads = rayon::current_num_threads();
+        if self.part_cache.as_ref().map(|&(t, _)| t) != Some(threads) {
+            let nbr_offsets = &self.nbr_offsets;
+            let part = BlockPartition::adaptive(n, threads, |v| {
+                (nbr_offsets[v + 1] - nbr_offsets[v]) as usize
+            });
+            self.part_cache = Some((threads, part));
+        }
+        let out: Vec<(Vec<Staged<M>>, B)> = {
+            let part = &self.part_cache.as_ref().expect("cached above").1;
+            let n_blocks = part.len();
+            let inbox_offsets = &self.inbox_offsets;
+            let inbox_buf = &self.inbox_buf;
+            let nbr_offsets = &self.nbr_offsets;
+            let nbr_ids = &self.nbr_ids;
+            (0..n_blocks)
+                .into_par_iter()
+                .map_init(&scratch, |sc, block| {
+                    let mut msgs: Vec<Staged<M>> = Vec::new();
+                    let mut payload = B::default();
+                    for v in part.block(block) {
+                        let inbox =
+                            &inbox_buf[inbox_offsets[v] as usize..inbox_offsets[v + 1] as usize];
+                        let neighbors =
+                            &nbr_ids[nbr_offsets[v] as usize..nbr_offsets[v + 1] as usize];
+                        let mut outbox = VertexOutbox {
+                            from: v as u32,
+                            neighbors,
+                            buf: &mut msgs,
+                        };
+                        step(sc, &mut payload, v, inbox, &mut outbox);
+                    }
+                    (msgs, payload)
+                })
+                .collect()
+        };
+        let mut payloads = Vec::with_capacity(out.len());
         for (msgs, payload) in out {
             self.staged.extend(msgs);
             payloads.push(payload);

@@ -34,10 +34,13 @@
 //!   which is exactly the set of `ClusterInfo` messages it received, so the mirror is
 //!   observationally identical to the per-vertex map (and the messages themselves
 //!   still travel through the simulator and are billed).
-//! * Per-round vertex execution runs through [`SyncNetwork::par_step`] under rayon:
-//!   decision sweeps use the cluster-stamped scratch pattern and emit flat per-block
-//!   add/kill batches that are applied sequentially in vertex order, so fixed-seed
-//!   runs are bitwise identical across thread counts.
+//! * Per-round vertex execution runs through [`SyncNetwork::par_step`] under rayon,
+//!   over density-aware `BlockPartition` blocks: decision sweeps use the
+//!   cluster-stamped scratch pattern and emit flat per-block add/kill batches. The
+//!   batches are committed by a parallel conflict-free flag pass (spanner adds only
+//!   ever store `true`, and each vertex retires only its *own* side of an edge, so
+//!   every mask slot sees writes of a single value) plus a small sequential per-vertex
+//!   state sweep — fixed-seed runs stay bitwise identical across thread counts.
 //!
 //! The rewrite changes *nothing* observable: `tests/golden_distributed.rs` pins edge
 //! ids and full `NetworkMetrics` captured from the pre-rewrite implementation.
@@ -48,6 +51,7 @@ use rayon::prelude::*;
 
 use sgs_graph::{EdgeId, Graph, NodeId};
 use sgs_spanner::baswana_sen::{EdgeView, ViewCsr};
+use sgs_spanner::AtomicFlags;
 
 use crate::network::{MessageSize, NetworkMetrics, SyncNetwork, VertexOutbox};
 
@@ -443,7 +447,8 @@ impl Protocol {
 
     /// Phase C: vertices in unsampled clusters decide (two stamped-scratch passes over
     /// their incidence row), stage `Kill` / `Child` notifications, and the flat
-    /// decision batches are applied sequentially in vertex order.
+    /// decision batches are committed by a parallel conflict-free flag pass plus a
+    /// small sequential per-vertex state sweep.
     fn phase_c(&mut self) {
         let n = self.n;
         let view = &self.view;
@@ -590,27 +595,43 @@ impl Protocol {
             },
         );
 
-        // Apply the decisions sequentially in vertex order (batches are emitted in
-        // block = vertex order), so the parallel and sequential paths stay
-        // bit-identical. Cost: proportional to edges touched.
+        // Two-phase commit, parallel half: the edge-proportional flag writes. They are
+        // conflict-free — `in_spanner` adds only ever store `true`, and a vertex kills
+        // only its *own* side of an edge (`alive_a` for endpoint `a`, `alive_b` for
+        // `b`), each side owned by exactly one vertex — so the final masks are the
+        // same for every commit order and fixed-seed runs stay bitwise identical
+        // across thread counts.
+        {
+            let view = &self.view;
+            let in_spanner = AtomicFlags::new(&mut self.in_spanner);
+            let alive_a = AtomicFlags::new(&mut self.alive_a);
+            let alive_b = AtomicFlags::new(&mut self.alive_b);
+            batches.par_iter().for_each(|batch| {
+                let mut adds_pos = 0usize;
+                let mut kills_pos = 0usize;
+                for dec in &batch.verts {
+                    let v = dec.v as usize;
+                    for &idx in &batch.adds[adds_pos..adds_pos + dec.add_len as usize] {
+                        in_spanner.set(idx as usize, true);
+                    }
+                    adds_pos += dec.add_len as usize;
+                    for &idx in &batch.kills[kills_pos..kills_pos + dec.kill_len as usize] {
+                        let (_, a, _, _) = view[idx as usize];
+                        if a == v {
+                            alive_a.set(idx as usize, false);
+                        } else {
+                            alive_b.set(idx as usize, false);
+                        }
+                    }
+                    kills_pos += dec.kill_len as usize;
+                }
+            });
+        }
+        // Sequential half: the per-vertex state writes, O(decided vertices) per
+        // iteration (each vertex appears in exactly one batch).
         for batch in &batches {
-            let mut adds_pos = 0usize;
-            let mut kills_pos = 0usize;
             for dec in &batch.verts {
                 let v = dec.v as usize;
-                for &idx in &batch.adds[adds_pos..adds_pos + dec.add_len as usize] {
-                    self.in_spanner[idx as usize] = true;
-                }
-                adds_pos += dec.add_len as usize;
-                for &idx in &batch.kills[kills_pos..kills_pos + dec.kill_len as usize] {
-                    let (_, a, _, _) = self.view[idx as usize];
-                    if a == v {
-                        self.alive_a[idx as usize] = false;
-                    } else {
-                        self.alive_b[idx as usize] = false;
-                    }
-                }
-                kills_pos += dec.kill_len as usize;
                 // Leaving the clustering and re-clustering are the same writes: the
                 // decision's center/parent are NONE32 for a vertex that left.
                 let st = &mut self.states[v];
@@ -624,29 +645,37 @@ impl Protocol {
 
     /// Delivers the Phase C notifications: `Kill` retires the receiver's side of the
     /// edge, `Child` extends the receiver's cluster-tree children (inboxes are sorted
-    /// by sender, so the children order is reproducible).
+    /// by sender, so the children order is reproducible). Runs in parallel over
+    /// vertices: a `Kill` only flips the *receiver's* side of the edge (disjoint per
+    /// vertex) and each `children[v]` is written only by its owner, walking its own
+    /// inbox in order — identical to the sequential sweep.
     fn process_kills_and_children(&mut self) {
-        for v in 0..self.n {
-            // The sequential sweep cannot hold `&self.net` across the mutations, so
-            // walk the inbox by index (it is a flat slice; this is allocation-free).
-            for i in 0..self.net.inbox(v).len() {
-                let (from, msg) = self.net.inbox(v)[i];
-                match msg {
-                    SpannerMsg::Kill { edge } => {
-                        let idx = self.idx_of[edge];
-                        debug_assert_ne!(idx, NONE32, "Kill for an edge outside the view");
-                        let (_, a, _, _) = self.view[idx as usize];
-                        if a == v {
-                            self.alive_a[idx as usize] = false;
-                        } else {
-                            self.alive_b[idx as usize] = false;
+        let net = &self.net;
+        let idx_of = &self.idx_of;
+        let view = &self.view;
+        let alive_a = AtomicFlags::new(&mut self.alive_a);
+        let alive_b = AtomicFlags::new(&mut self.alive_b);
+        self.children
+            .par_iter_mut()
+            .enumerate()
+            .for_each(|(v, children)| {
+                for &(from, msg) in net.inbox(v) {
+                    match msg {
+                        SpannerMsg::Kill { edge } => {
+                            let idx = idx_of[edge];
+                            debug_assert_ne!(idx, NONE32, "Kill for an edge outside the view");
+                            let (_, a, _, _) = view[idx as usize];
+                            if a == v {
+                                alive_a.set(idx as usize, false);
+                            } else {
+                                alive_b.set(idx as usize, false);
+                            }
                         }
+                        SpannerMsg::Child => children.push(from),
+                        _ => {}
                     }
-                    SpannerMsg::Child => self.children[v].push(from),
-                    _ => {}
                 }
-            }
-        }
+            });
     }
 
     /// Intra-cluster edges retire locally (no message needed: both endpoints can see
@@ -704,11 +733,13 @@ impl Protocol {
                 }
             },
         );
-        for batch in &batches {
+        // Same-value (`true`) writes commute, so the joining adds commit in parallel.
+        let in_spanner = AtomicFlags::new(&mut self.in_spanner);
+        batches.par_iter().for_each(|batch| {
             for &idx in &batch.adds {
-                self.in_spanner[idx as usize] = true;
+                in_spanner.set(idx as usize, true);
             }
-        }
+        });
     }
 }
 

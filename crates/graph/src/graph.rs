@@ -261,14 +261,22 @@ impl Graph {
 
     /// Applies the Laplacian to a vector: `y = L_G x`, computed edge-by-edge.
     pub fn laplacian_apply(&self, x: &[f64]) -> Vec<f64> {
-        debug_assert_eq!(x.len(), self.n);
         let mut y = vec![0.0; self.n];
+        self.laplacian_apply_into(x, &mut y);
+        y
+    }
+
+    /// Allocation-free [`Graph::laplacian_apply`] writing into a caller-provided
+    /// buffer; the hot SPMV of every matrix-free Laplacian solve.
+    pub fn laplacian_apply_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        debug_assert_eq!(y.len(), self.n);
+        y.fill(0.0);
         for e in &self.edges {
             let d = e.w * (x[e.u] - x[e.v]);
             y[e.u] += d;
             y[e.v] -= d;
         }
-        y
     }
 
     /// Returns the subgraph induced by keeping exactly the edges whose ids are in

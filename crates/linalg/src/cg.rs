@@ -54,8 +54,9 @@ impl LinearOperator for GraphLaplacianOp<'_> {
         self.graph.n()
     }
     fn apply_into(&self, x: &[f64], y: &mut [f64]) {
-        let out = self.graph.laplacian_apply(x);
-        y.copy_from_slice(&out);
+        // Allocation-free: one CG iteration per edge solve used to allocate a fresh
+        // n-vector here, which dominated the resistance estimator's profile.
+        self.graph.laplacian_apply_into(x, y);
     }
 }
 
@@ -303,8 +304,7 @@ pub fn pcg_solve_in<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
             break;
         }
         let alpha = rz / pap;
-        vector::axpy(alpha, p, x);
-        vector::axpy(-alpha, ap, r);
+        vector::axpy2(alpha, p, x, -alpha, ap, r);
         if cfg.project_ones {
             vector::project_out_ones(r);
         }

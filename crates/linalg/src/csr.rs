@@ -143,13 +143,18 @@ impl CsrMatrix {
                 *out = acc;
             }
         } else {
-            y.par_iter_mut().enumerate().for_each(|(r, out)| {
-                let mut acc = 0.0;
-                for i in self.row_ptr[r]..self.row_ptr[r + 1] {
-                    acc += self.values[i] * x[self.col_idx[i]];
-                }
-                *out = acc;
-            });
+            // Rows are cheap (a handful of multiply-adds for graph Laplacians); the
+            // chunk hint keeps the executor from dispatching tiny row batches.
+            y.par_iter_mut()
+                .enumerate()
+                .with_min_len(512)
+                .for_each(|(r, out)| {
+                    let mut acc = 0.0;
+                    for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                        acc += self.values[i] * x[self.col_idx[i]];
+                    }
+                    *out = acc;
+                });
         }
     }
 

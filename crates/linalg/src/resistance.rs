@@ -260,8 +260,11 @@ pub fn approx_effective_resistances_in(
         acc * scale
     };
     if opts.parallel {
+        // Each estimate is k multiply-adds; batch the per-edge dispatch so the ER
+        // sampling strategy and `resparsify_er` stop paying per-item overhead.
         out.par_iter_mut()
             .enumerate()
+            .with_min_len(256)
             .for_each(|(j, r)| *r = estimate(j));
     } else {
         for (j, r) in out.iter_mut().enumerate() {

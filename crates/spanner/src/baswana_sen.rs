@@ -25,21 +25,38 @@
 //!   cluster id plus a touched-list for O(degree) cleanup — replacing a per-vertex
 //!   `BTreeMap` allocation. Scratch is threaded through rayon with `map_init`, so each
 //!   worker chunk reuses one instance.
-//! * **Flat decision batches** ([`RoundBatch`]): vertices are processed in fixed-size
-//!   blocks (independent of the thread count) and each block emits compact per-vertex
-//!   records plus shared flat `adds`/`kills` id lists — replacing two `Vec`s per vertex
-//!   per round. Batches are applied sequentially in vertex order, so the parallel and
-//!   sequential paths stay bit-identical.
+//! * **Flat decision batches** ([`RoundBatch`]): vertices are processed in contiguous
+//!   blocks cut by the density-aware [`BlockPartition`](crate::partition) (edge-load
+//!   balanced, a few blocks per thread, 64-vertex floor) and each block emits compact
+//!   per-vertex records plus shared flat `adds`/`kills` id lists — replacing two
+//!   `Vec`s per vertex per round.
+//! * **Parallel two-phase commit**: decision batches are committed through shared
+//!   relaxed-atomic views ([`crate::atomic`]) instead of a sequential sweep. This is
+//!   safe — and bit-identical to the sequential order — because the commit is
+//!   order-invariant: every edge a vertex *adds* it also *kills* (both branches of
+//!   `process_block`), so `in_spanner` is a plain union; `center_next` slots are
+//!   written by exactly one vertex each; and the defensive kill of an unclustered
+//!   vertex's leftover edges depends only on round-start state on any edge that is not
+//!   already batch-killed. The final masks after the commit are therefore identical
+//!   under any interleaving — the CRCW "common write" model of Corollary 2.
 //!
 //! The outputs (edge ids, round count, and the `work` counter) are byte-for-byte
 //! identical to the original `BTreeMap`-based implementation; `tests/golden_spanner.rs`
-//! pins that equivalence against pre-rewrite fixtures.
+//! pins that equivalence against pre-rewrite fixtures, and `tests/parallelism.rs` pins
+//! it across pool widths. Wall-clock per phase (decide / apply / sweep / join) is
+//! reported via [`SpannerPhases`] so the scaling experiments can prove the apply phase
+//! is no longer a serial section.
+
+use std::time::Instant;
 
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 
 use sgs_graph::{EdgeId, Graph, NodeId};
+
+use crate::atomic::{AtomicFlags, AtomicIds};
+use crate::partition::BlockPartition;
 
 /// Configuration for the Baswana–Sen construction.
 #[derive(Debug, Clone)]
@@ -96,6 +113,51 @@ pub struct SpannerResult {
     /// Work counter: total number of edge examinations across all rounds. Experiment E1
     /// compares this against the `O(m log n)` bound of Theorem 1.
     pub work: u64,
+    /// Wall-clock spent per engine phase. Timings are *measurements*, not outputs:
+    /// they vary run to run and are deliberately excluded from every determinism
+    /// comparison (golden fixtures, cross-thread-count tests).
+    pub phases: SpannerPhases,
+}
+
+/// Wall-clock breakdown of one spanner construction, in milliseconds.
+///
+/// `decide` is the per-vertex clustering decision sweep, `apply` the decision commit,
+/// `sweep` the intra-cluster edge removal, and `join` the final vertex–cluster joining
+/// phase. Since the parallel two-phase commit landed, *every* phase runs on the rayon
+/// pool when `parallel` is set — `exp_scaling` reports these columns so CI can see
+/// that no phase stays serial as threads grow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpannerPhases {
+    /// Clustering decision sweeps (all rounds).
+    pub decide_ms: f64,
+    /// Decision commits (all rounds).
+    pub apply_ms: f64,
+    /// Intra-cluster edge removal sweeps (all rounds).
+    pub sweep_ms: f64,
+    /// Vertex–cluster joining phase (decide + commit).
+    pub join_ms: f64,
+}
+
+impl SpannerPhases {
+    /// Accumulates another breakdown into this one (used by the t-bundle loop and the
+    /// sampling pipeline to aggregate across components and rounds).
+    pub fn absorb(&mut self, other: &SpannerPhases) {
+        self.decide_ms += other.decide_ms;
+        self.apply_ms += other.apply_ms;
+        self.sweep_ms += other.sweep_ms;
+        self.join_ms += other.join_ms;
+    }
+
+    /// Total measured wall-clock across the phases.
+    pub fn total_ms(&self) -> f64 {
+        self.decide_ms + self.apply_ms + self.sweep_ms + self.join_ms
+    }
+}
+
+/// Milliseconds elapsed since `start`.
+#[inline]
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
 }
 
 impl SpannerResult {
@@ -113,10 +175,11 @@ pub type EdgeView = (EdgeId, NodeId, NodeId, f64);
 /// branch/space overhead).
 const NO_CLUSTER: u32 = u32::MAX;
 
-/// Fixed vertex block size for decision batching. Blocks — not threads — are the unit
-/// of work distribution, so the batch boundaries (and therefore the applied decision
-/// order) are a function of `n` only, never of the pool width.
-const VERTEX_BLOCK: usize = 256;
+// Decision batching distributes vertices to workers in contiguous blocks cut by the
+// density-aware `BlockPartition` (see `crate::partition`): edge-load balanced, a few
+// blocks per thread, 64-vertex floor. The partition may vary with the pool width —
+// outputs cannot, because the decision records depend only on round-start state and
+// the commit is order-invariant (module docs above).
 
 /// Flat CSR incidence over an edge view: `indices[offsets[v]..offsets[v+1]]` are the
 /// view indices of the edges incident to vertex `v`, in ascending order.
@@ -316,6 +379,7 @@ fn trivial_spanner(n: usize, view: &[EdgeView], cfg: &SpannerConfig) -> Option<S
             edge_ids: ids,
             rounds: 0,
             work: m as u64,
+            phases: SpannerPhases::default(),
         });
     }
     None
@@ -336,8 +400,7 @@ fn resolve_k(n: usize, cfg: &SpannerConfig) -> usize {
 /// matching the historical `BTreeMap` implementation.
 #[allow(clippy::too_many_arguments)]
 fn process_block(
-    block: usize,
-    n: usize,
+    verts: std::ops::Range<usize>,
     view: &[EdgeView],
     csr: &ViewCsr,
     center: &[u32],
@@ -345,10 +408,8 @@ fn process_block(
     sampled: &[bool],
     scratch: &mut RoundScratch,
 ) -> RoundBatch {
-    let start = block * VERTEX_BLOCK;
-    let end = (start + VERTEX_BLOCK).min(n);
     let mut batch = RoundBatch::default();
-    for v in start..end {
+    for v in verts {
         let c_v = center[v];
         if c_v == NO_CLUSTER || sampled[c_v as usize] {
             // Unclustered vertices are settled; sampled clusters carry over unchanged.
@@ -479,18 +540,15 @@ fn process_block(
 /// Computes the joining-phase adds for one vertex block: the lightest alive edge into
 /// every adjacent foreign cluster (add-only, so no per-vertex records are needed).
 fn join_block(
-    block: usize,
-    n: usize,
+    verts: std::ops::Range<usize>,
     view: &[EdgeView],
     csr: &ViewCsr,
     center: &[u32],
     alive: &[bool],
     scratch: &mut RoundScratch,
 ) -> RoundBatch {
-    let start = block * VERTEX_BLOCK;
-    let end = (start + VERTEX_BLOCK).min(n);
     let mut batch = RoundBatch::default();
-    for v in start..end {
+    for v in verts {
         let row = csr.row(v);
         batch.work += row.len() as u64;
         scratch.stamp += 1;
@@ -526,6 +584,63 @@ fn join_block(
     batch
 }
 
+/// Commits one decision batch through shared atomic views.
+///
+/// Safe — and *final-state identical* — under any interleaving with other batches:
+///
+/// * `in_spanner` stores are a plain union of the batch add lists;
+/// * `alive` stores only ever flip `true → false` within a commit;
+/// * `center_next[v]` is written solely by the batch that owns vertex `v`;
+/// * the defensive kill of an unclustered vertex's leftovers reads the *round-start*
+///   `center` array, and its transient `alive`/`in_spanner` reads can only change its
+///   decision on edges some batch kills anyway (every added edge is also killed by
+///   the adding vertex, so a skipped defensive kill is always covered by a batch
+///   kill).
+///
+/// The same function serves the sequential path (`batches.iter()` instead of
+/// `par_iter`), which keeps the two paths literally one code path.
+fn apply_batch(
+    batch: &RoundBatch,
+    view: &[EdgeView],
+    csr: &ViewCsr,
+    center: &[u32],
+    alive: AtomicFlags<'_>,
+    in_spanner: AtomicFlags<'_>,
+    center_next: AtomicIds<'_>,
+) {
+    let mut adds_pos = 0usize;
+    let mut kills_pos = 0usize;
+    for dec in &batch.verts {
+        for &idx in &batch.adds[adds_pos..adds_pos + dec.add_len as usize] {
+            in_spanner.set(idx as usize, true);
+        }
+        adds_pos += dec.add_len as usize;
+        for &idx in &batch.kills[kills_pos..kills_pos + dec.kill_len as usize] {
+            alive.set(idx as usize, false);
+        }
+        kills_pos += dec.kill_len as usize;
+        let v = dec.v as usize;
+        if dec.became_unclustered {
+            center_next.set(v, NO_CLUSTER);
+            // Any still-alive incident edge of an unclustered vertex is dead weight;
+            // they were all either added or killed above, but parallel edges from the
+            // same group may linger — kill them defensively.
+            for &idx32 in csr.row(v) {
+                let idx = idx32 as usize;
+                if alive.get(idx) && !in_spanner.get(idx) {
+                    let (_, a, b, _) = view[idx];
+                    let other = if a == v { b } else { a };
+                    if center[other] != NO_CLUSTER {
+                        alive.set(idx, false);
+                    }
+                }
+            }
+        } else if dec.new_center != NO_CLUSTER {
+            center_next.set(v, dec.new_center);
+        }
+    }
+}
+
 /// Runs the full construction over a prepared CSR view. `state` buffers are reset here
 /// and may be reused across calls (the t-bundle engine does).
 fn run_spanner(
@@ -542,9 +657,18 @@ fn run_spanner(
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let sample_prob = (n as f64).powf(-1.0 / k as f64);
-    let n_blocks = n.div_ceil(VERTEX_BLOCK);
+    let threads = if cfg.parallel {
+        rayon::current_num_threads()
+    } else {
+        1
+    };
+    // Density-aware blocks (degree-load balanced, 64-vertex floor). The partition may
+    // depend on the pool width; outputs cannot (see module docs).
+    let part = BlockPartition::adaptive(n, threads, |v| csr.row(v).len());
+    let n_blocks = part.len();
     let mut total_work = 0u64;
     let mut rounds = 0usize;
+    let mut phases = SpannerPhases::default();
 
     for _round in 1..k {
         rounds += 1;
@@ -555,64 +679,64 @@ fn run_spanner(
         }
 
         let (center, alive, sampled) = (&state.center, &state.alive, &state.sampled);
+        let t_decide = Instant::now();
         let batches: Vec<RoundBatch> = if cfg.parallel {
             (0..n_blocks)
                 .into_par_iter()
                 .map_init(
                     || RoundScratch::new(n),
-                    |scratch, b| process_block(b, n, view, csr, center, alive, sampled, scratch),
+                    |scratch, b| {
+                        process_block(part.block(b), view, csr, center, alive, sampled, scratch)
+                    },
                 )
                 .collect()
         } else {
             let mut scratch = RoundScratch::new(n);
             (0..n_blocks)
-                .map(|b| process_block(b, n, view, csr, center, alive, sampled, &mut scratch))
+                .map(|b| {
+                    process_block(
+                        part.block(b),
+                        view,
+                        csr,
+                        center,
+                        alive,
+                        sampled,
+                        &mut scratch,
+                    )
+                })
                 .collect()
         };
+        phases.decide_ms += ms_since(t_decide);
 
-        // Apply the decisions sequentially in vertex order (batches are emitted in
-        // block = vertex order), so the parallel and sequential paths are
-        // bit-identical. Cost: proportional to edges touched.
+        // Commit the decisions. The commit is order-invariant (see `apply_batch`), so
+        // the parallel path runs every batch concurrently through shared atomic views
+        // and still lands bit-identical to the sequential block-order walk.
+        let t_apply = Instant::now();
         state.center_next.copy_from_slice(&state.center);
-        for batch in &batches {
-            total_work += batch.work;
-            let mut adds_pos = 0usize;
-            let mut kills_pos = 0usize;
-            for dec in &batch.verts {
-                for &idx in &batch.adds[adds_pos..adds_pos + dec.add_len as usize] {
-                    state.in_spanner[idx as usize] = true;
-                }
-                adds_pos += dec.add_len as usize;
-                for &idx in &batch.kills[kills_pos..kills_pos + dec.kill_len as usize] {
-                    state.alive[idx as usize] = false;
-                }
-                kills_pos += dec.kill_len as usize;
-                let v = dec.v as usize;
-                if dec.became_unclustered {
-                    state.center_next[v] = NO_CLUSTER;
-                    // Any still-alive incident edge of an unclustered vertex is dead
-                    // weight; they were all either added or killed above, but parallel
-                    // edges from the same group may linger — kill them defensively.
-                    for &idx32 in csr.row(v) {
-                        let idx = idx32 as usize;
-                        if state.alive[idx] && !state.in_spanner[idx] {
-                            let (_, a, b, _) = view[idx];
-                            let other = if a == v { b } else { a };
-                            if state.center[other] != NO_CLUSTER {
-                                state.alive[idx] = false;
-                            }
-                        }
-                    }
-                } else if dec.new_center != NO_CLUSTER {
-                    state.center_next[v] = dec.new_center;
-                }
+        {
+            let alive = AtomicFlags::new(&mut state.alive);
+            let in_spanner = AtomicFlags::new(&mut state.in_spanner);
+            let center_next = AtomicIds::new(&mut state.center_next);
+            let center = &state.center;
+            let commit = |batch: &RoundBatch| {
+                apply_batch(batch, view, csr, center, alive, in_spanner, center_next)
+            };
+            if cfg.parallel {
+                batches.par_iter().for_each(commit);
+            } else {
+                batches.iter().for_each(commit);
             }
         }
+        for batch in &batches {
+            total_work += batch.work;
+        }
+        phases.apply_ms += ms_since(t_apply);
         std::mem::swap(&mut state.center, &mut state.center_next);
 
         // Remove intra-cluster edges of the new clustering. The per-edge flag writes
         // commute, so this sweep runs in parallel; the u64 work tally is combined in
         // chunk order and stays deterministic.
+        let t_sweep = Instant::now();
         let center = &state.center;
         let sweep = |(a, &(_, u, v, _)): (&mut bool, &EdgeView)| -> u64 {
             if *a {
@@ -635,31 +759,45 @@ fn run_spanner(
         } else {
             state.alive.iter_mut().zip(view.iter()).map(sweep).sum()
         };
+        phases.sweep_ms += ms_since(t_sweep);
     }
 
     // Phase 2: vertex–cluster joining on the final clustering.
     rounds += 1;
+    let t_join = Instant::now();
     let (center, alive) = (&state.center, &state.alive);
     let join_batches: Vec<RoundBatch> = if cfg.parallel {
         (0..n_blocks)
             .into_par_iter()
             .map_init(
                 || RoundScratch::new(n),
-                |scratch, b| join_block(b, n, view, csr, center, alive, scratch),
+                |scratch, b| join_block(part.block(b), view, csr, center, alive, scratch),
             )
             .collect()
     } else {
         let mut scratch = RoundScratch::new(n);
         (0..n_blocks)
-            .map(|b| join_block(b, n, view, csr, center, alive, &mut scratch))
+            .map(|b| join_block(part.block(b), view, csr, center, alive, &mut scratch))
             .collect()
     };
-    for batch in &join_batches {
-        total_work += batch.work;
-        for &idx in &batch.adds {
-            state.in_spanner[idx as usize] = true;
+    // Join adds are a plain union, so the commit parallelises the same way.
+    {
+        let in_spanner = AtomicFlags::new(&mut state.in_spanner);
+        let commit = |batch: &RoundBatch| {
+            for &idx in &batch.adds {
+                in_spanner.set(idx as usize, true);
+            }
+        };
+        if cfg.parallel {
+            join_batches.par_iter().for_each(commit);
+        } else {
+            join_batches.iter().for_each(commit);
         }
     }
+    for batch in &join_batches {
+        total_work += batch.work;
+    }
+    phases.join_ms += ms_since(t_join);
 
     let mut edge_ids: Vec<EdgeId> = view
         .iter()
@@ -678,6 +816,7 @@ fn run_spanner(
         edge_ids,
         rounds,
         work: total_work,
+        phases,
     }
 }
 

@@ -20,16 +20,20 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod atomic;
 pub mod baswana_sen;
 pub mod bundle;
 pub mod greedy;
+pub mod partition;
 
+pub use atomic::{AtomicFlags, AtomicIds};
 pub use baswana_sen::{
     baswana_sen_on_view, baswana_sen_spanner, EdgeView, SpannerConfig, SpannerEngine,
-    SpannerResult, ViewCsr,
+    SpannerPhases, SpannerResult, ViewCsr,
 };
 pub use bundle::{t_bundle, t_bundle_on_engine, BundleConfig, BundleResult};
 pub use greedy::greedy_spanner;
+pub use partition::BlockPartition;
 
 /// Default stretch target `2 ⌈log₂ n⌉` used when the caller does not override `k`.
 ///

@@ -97,6 +97,10 @@ pub struct FinalPassConfig {
     pub epsilon_fraction: f64,
     /// Oversampling constant of the pass's `q = c · n log₂ n / ε²` sample budget.
     pub oversample: f64,
+    /// When `Some(shrink)`, the pass auto-tunes its budget from the sparsifier it
+    /// actually receives — targeting `m_in / shrink` kept edges — instead of the
+    /// fixed `oversample` constant (see `sgs_core::ErPassConfig::auto_shrink`).
+    pub auto_shrink: Option<f64>,
     /// JL projection rows (= Laplacian solves) of the resistance estimate.
     pub jl_dims: usize,
     /// CG tolerance of each solve.
@@ -109,6 +113,7 @@ impl FinalPassConfig {
         FinalPassConfig {
             epsilon_fraction: 1.0 / 3.0,
             oversample: 0.25,
+            auto_shrink: None,
             jl_dims: 8,
             cg_tol: 1e-4,
         }
@@ -121,10 +126,20 @@ impl FinalPassConfig {
         self
     }
 
-    /// Overrides the oversampling constant (must be positive).
+    /// Overrides the oversampling constant (must be positive; switches off
+    /// auto-tuning).
     pub fn with_oversample(mut self, c: f64) -> Self {
         assert!(c > 0.0, "oversample must be positive");
         self.oversample = c;
+        self.auto_shrink = None;
+        self
+    }
+
+    /// Auto-tunes the pass budget from the observed sparsifier size: target
+    /// `m_in / shrink` kept edges instead of the fixed constant.
+    pub fn with_auto_oversample(mut self, shrink: f64) -> Self {
+        assert!(shrink >= 1.0, "shrink must be at least 1");
+        self.auto_shrink = Some(shrink);
         self
     }
 

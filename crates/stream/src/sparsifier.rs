@@ -378,12 +378,15 @@ impl StreamSparsifier {
         // of CG solves runs on the cheapest graph the stream ever produces.
         if let Some(fp) = self.cfg.final_pass.clone() {
             let pass_eps = self.cfg.final_pass_epsilon().min(1.0);
-            let pass_cfg = ErPassConfig::new(pass_eps)
+            let mut pass_cfg = ErPassConfig::new(pass_eps)
                 .with_oversample(fp.oversample)
                 .with_jl_dims(fp.jl_dims)
                 .with_cg_tol(fp.cg_tol)
                 .with_parallel(self.cfg.parallel)
                 .with_seed(self.cfg.seed ^ 0xF1A1_9A55_0000_00ED);
+            if let Some(shrink) = fp.auto_shrink {
+                pass_cfg = pass_cfg.with_auto_oversample(shrink);
+            }
             let out = self.engine.resparsify_er(&sparsifier, &pass_cfg);
             self.stats.er_pass = Some(ErPassStats {
                 epsilon: pass_eps,

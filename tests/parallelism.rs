@@ -26,6 +26,13 @@ fn on_pool<R>(threads: usize, op: impl FnOnce() -> R) -> R {
     pool.install(op)
 }
 
+/// Pool widths every engine is pinned against the 1-thread reference. The spread
+/// matters: 2/3 exercise uneven block-to-worker ratios, 4 the CI runner's width, and
+/// 8 an oversubscribed pool — and since the density-aware `BlockPartition` cuts
+/// *different* blocks at different widths, each width is a genuinely different
+/// schedule that must still produce byte-identical outputs and metrics.
+const WIDTHS: [usize; 4] = [2, 3, 4, 8];
+
 #[test]
 fn matvec_is_identical_across_thread_counts() {
     let g = generators::grid2d(60, 60, 1.0); // n = 3600, above the parallel cutoff
@@ -55,9 +62,30 @@ fn spanner_is_identical_across_thread_counts() {
     let g = generators::erdos_renyi(400, 0.1, 1.0, 13);
     let cfg = SpannerConfig::with_seed(21);
     let s1 = on_pool(1, || baswana_sen_spanner(&g, &cfg));
-    let s4 = on_pool(4, || baswana_sen_spanner(&g, &cfg));
-    assert_eq!(s1.edge_ids, s4.edge_ids);
-    assert_eq!(s1.work, s4.work);
+    for w in WIDTHS {
+        let sw = on_pool(w, || baswana_sen_spanner(&g, &cfg));
+        assert_eq!(s1.edge_ids, sw.edge_ids, "edge ids @ {w} threads");
+        assert_eq!(s1.work, sw.work, "work @ {w} threads");
+        assert_eq!(s1.rounds, sw.rounds, "rounds @ {w} threads");
+    }
+}
+
+#[test]
+fn parallel_apply_is_identical_across_thread_counts_on_skewed_degrees() {
+    // Pins the two-phase parallel commit specifically: a preferential-attachment
+    // graph gives the density-aware `BlockPartition` maximally uneven cuts (hub
+    // blocks at the 64-vertex floor, tail blocks huge), so at every width the
+    // decision batches are committed by a different set of workers in a different
+    // interleaving — and the order-invariance argument of `apply_batch` is what
+    // keeps edge ids AND the work tally bitwise equal to the 1-thread walk.
+    let g = generators::preferential_attachment(600, 4, 1.0, 35);
+    let cfg = SpannerConfig::with_seed(11);
+    let s1 = on_pool(1, || baswana_sen_spanner(&g, &cfg));
+    for w in WIDTHS {
+        let sw = on_pool(w, || baswana_sen_spanner(&g, &cfg));
+        assert_eq!(s1.edge_ids, sw.edge_ids, "edge ids @ {w} threads");
+        assert_eq!(s1.work, sw.work, "work @ {w} threads");
+    }
 }
 
 #[test]
@@ -68,11 +96,13 @@ fn t_bundle_is_identical_across_thread_counts() {
     let g = generators::erdos_renyi(350, 0.15, 1.0, 27);
     let cfg = BundleConfig::new(3).with_seed(19);
     let b1 = on_pool(1, || t_bundle(&g, &cfg));
-    let b4 = on_pool(4, || t_bundle(&g, &cfg));
-    assert_eq!(b1.components, b4.components);
-    assert_eq!(b1.in_bundle, b4.in_bundle);
-    assert_eq!(b1.bundle_size, b4.bundle_size);
-    assert_eq!(b1.work, b4.work);
+    for w in WIDTHS {
+        let bw = on_pool(w, || t_bundle(&g, &cfg));
+        assert_eq!(b1.components, bw.components, "components @ {w} threads");
+        assert_eq!(b1.in_bundle, bw.in_bundle, "bundle mask @ {w} threads");
+        assert_eq!(b1.bundle_size, bw.bundle_size, "bundle size @ {w} threads");
+        assert_eq!(b1.work, bw.work, "work @ {w} threads");
+    }
 }
 
 #[test]
@@ -95,9 +125,11 @@ fn full_sparsifier_is_byte_identical_across_thread_counts() {
         .with_bundle_sizing(BundleSizing::Fixed(4))
         .with_seed(5);
     let a = on_pool(1, || parallel_sparsify(&g, &cfg));
-    let b = on_pool(4, || parallel_sparsify(&g, &cfg));
-    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
-    assert_eq!(a.stats.total_work(), b.stats.total_work());
+    for w in WIDTHS {
+        let b = on_pool(w, || parallel_sparsify(&g, &cfg));
+        assert_eq!(a.sparsifier.edges(), b.sparsifier.edges(), "@ {w} threads");
+        assert_eq!(a.stats, b.stats, "stats @ {w} threads");
+    }
 }
 
 #[test]
@@ -186,32 +218,37 @@ fn stream_sparsifier_is_identical_across_thread_counts() {
         s.finish()
     };
     let a = on_pool(1, run);
-    let b = on_pool(4, run);
-    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
-    for (x, y) in a.sparsifier.edges().iter().zip(b.sparsifier.edges()) {
-        assert_eq!(x.w.to_bits(), y.w.to_bits());
+    for w in WIDTHS {
+        let b = on_pool(w, run);
+        assert_eq!(a.sparsifier.edges(), b.sparsifier.edges(), "@ {w} threads");
+        for (x, y) in a.sparsifier.edges().iter().zip(b.sparsifier.edges()) {
+            assert_eq!(x.w.to_bits(), y.w.to_bits(), "weights @ {w} threads");
+        }
+        assert_eq!(a.stats, b.stats, "stream stats @ {w} threads");
+        assert_eq!(a.stats.peak_resident_edges, b.stats.peak_resident_edges);
+        assert_eq!(a.stats.total_work(), b.stats.total_work());
     }
-    assert_eq!(a.stats, b.stats);
-    assert_eq!(a.stats.peak_resident_edges, b.stats.peak_resident_edges);
-    assert_eq!(a.stats.total_work(), b.stats.total_work());
 }
 
 #[test]
 fn distributed_sparsify_is_identical_across_thread_counts() {
     // Pins the CONGEST engine end to end: the `par_step` vertex sweeps stage messages
-    // in fixed 256-vertex blocks and the delivery sort is stable, so the protocol's
-    // outputs *and* its communication accounting (rounds / messages / bits) must be
-    // byte-identical no matter how wide the pool is.
+    // in block order over density-aware `BlockPartition` cuts and the delivery sort
+    // is stable, so the protocol's outputs *and* its communication accounting
+    // (rounds / messages / bits) must be byte-identical no matter how wide the pool
+    // is — even though the partition itself differs per width.
     let g = generators::erdos_renyi(250, 0.25, 1.0, 41);
     let cfg = SparsifyConfig::new(0.75, 4.0)
         .with_bundle_sizing(BundleSizing::Fixed(3))
         .with_seed(29);
     let a = on_pool(1, || distributed_sparsify(&g, &cfg));
-    let b = on_pool(4, || distributed_sparsify(&g, &cfg));
-    assert_eq!(a.sparsifier.edges(), b.sparsifier.edges());
-    assert_eq!(a.metrics, b.metrics);
-    assert_eq!(a.rounds_executed, b.rounds_executed);
-    assert_eq!(a.bundle_edges, b.bundle_edges);
+    for w in WIDTHS {
+        let b = on_pool(w, || distributed_sparsify(&g, &cfg));
+        assert_eq!(a.sparsifier.edges(), b.sparsifier.edges(), "@ {w} threads");
+        assert_eq!(a.metrics, b.metrics, "metrics @ {w} threads");
+        assert_eq!(a.rounds_executed, b.rounds_executed, "rounds @ {w} threads");
+        assert_eq!(a.bundle_edges, b.bundle_edges, "bundle @ {w} threads");
+    }
 }
 
 #[test]
@@ -221,11 +258,13 @@ fn distributed_spanner_is_identical_across_thread_counts() {
     let a = on_pool(1, || {
         spectral_sparsify::distributed::distributed_spanner(&g, &cfg)
     });
-    let b = on_pool(4, || {
-        spectral_sparsify::distributed::distributed_spanner(&g, &cfg)
-    });
-    assert_eq!(a.edge_ids, b.edge_ids);
-    assert_eq!(a.metrics, b.metrics);
+    for w in WIDTHS {
+        let b = on_pool(w, || {
+            spectral_sparsify::distributed::distributed_spanner(&g, &cfg)
+        });
+        assert_eq!(a.edge_ids, b.edge_ids, "edge ids @ {w} threads");
+        assert_eq!(a.metrics, b.metrics, "metrics @ {w} threads");
+    }
 }
 
 #[test]
