@@ -22,14 +22,24 @@
 //! * [`sparsify`] — the distributed `PARALLELSAMPLE` / `PARALLELSPARSIFY` (Corollary 3 +
 //!   Theorem 5): bundles are built by iterating the distributed spanner on residual
 //!   edges; the uniform sampling step is purely local and costs no communication.
+//! * [`faults`] — deterministic fault injection ([`faults::FaultPlan`]: seeded message
+//!   loss/duplication/delay coins, link outages, vertex crash windows) and a reliable
+//!   ack/retransmit delivery layer ([`faults::ReliableNet`]) with a bounded retry
+//!   budget, so the degradation of the construction under unreliable networks is
+//!   measurable and bit-for-bit replayable.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod faults;
 pub mod network;
 pub mod spanner;
 pub mod sparsify;
 
+pub use faults::{FaultConfig, FaultPlan, ReliabilityConfig, ReliableNet};
 pub use network::{NetworkMetrics, SyncNetwork};
 pub use spanner::{distributed_spanner, DistSpannerConfig, DistSpannerResult};
-pub use sparsify::{distributed_sample, distributed_sparsify, DistSparsifyResult};
+pub use sparsify::{
+    distributed_sample, distributed_sample_with_faults, distributed_sparsify,
+    distributed_sparsify_with_faults, DistSparsifyResult,
+};

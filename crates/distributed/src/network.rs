@@ -37,6 +37,8 @@ use rayon::prelude::*;
 use sgs_graph::{Graph, NodeId};
 use sgs_spanner::BlockPartition;
 
+use crate::faults::{FaultLayer, FaultPlan};
+
 /// Something that can report its own size in bits, for communication accounting.
 ///
 /// The paper's bounds talk about messages of `O(log n)` bits; implementations should
@@ -57,6 +59,22 @@ pub struct NetworkMetrics {
     pub total_bits: u64,
     /// Largest single message observed, in bits.
     pub max_message_bits: usize,
+    /// Messages destroyed by the fault layer (loss coins, failed links, crashed
+    /// endpoints). Not counted in `messages`/`total_bits` — those bill delivery.
+    pub dropped: u64,
+    /// Extra copies injected by the fault layer's duplication coins (each copy is
+    /// also billed as a delivered message).
+    pub duplicated: u64,
+    /// Messages the fault layer deferred to a later round (billed on actual delivery).
+    pub delayed: u64,
+    /// Data retransmissions issued by the reliable-delivery layer.
+    pub retransmits: u64,
+    /// Acknowledgement messages processed by the reliable-delivery layer.
+    pub acks: u64,
+    /// Duplicate data messages suppressed by the reliable layer's sequence numbers.
+    pub dup_suppressed: u64,
+    /// Messages abandoned after the reliable layer's retry budget was exhausted.
+    pub abandoned: u64,
 }
 
 impl NetworkMetrics {
@@ -67,6 +85,13 @@ impl NetworkMetrics {
         self.messages += other.messages;
         self.total_bits += other.total_bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.retransmits += other.retransmits;
+        self.acks += other.acks;
+        self.dup_suppressed += other.dup_suppressed;
+        self.abandoned += other.abandoned;
     }
 }
 
@@ -74,7 +99,7 @@ impl NetworkMetrics {
 pub type Envelope<M> = (NodeId, M);
 
 /// A staged message record: `(from, to, msg)`.
-type Staged<M> = (u32, u32, M);
+pub(crate) type Staged<M> = (u32, u32, M);
 
 /// A synchronous network over the vertices of a graph.
 ///
@@ -100,6 +125,9 @@ pub struct SyncNetwork<M> {
     /// Cached [`BlockPartition`] for [`SyncNetwork::par_step`], keyed by the pool
     /// width that built it (protocols run many rounds on one fixed topology).
     part_cache: Option<(usize, BlockPartition)>,
+    /// Deterministic fault injection, if any. `None` keeps `advance_round` on the
+    /// exact pre-fault code path (zero cost, byte-identical byte stream).
+    faults: Option<FaultLayer<M>>,
     metrics: NetworkMetrics,
 }
 
@@ -136,13 +164,87 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
             cursor,
             perm: Vec::new(),
             part_cache: None,
+            faults: None,
             metrics: NetworkMetrics::default(),
         }
+    }
+
+    /// Builds a network with a deterministic fault plan installed.
+    ///
+    /// A [`FaultPlan::none()`] plan is not installed at all, so the fault-free path
+    /// stays byte-identical to [`SyncNetwork::new`].
+    pub fn with_faults(g: &Graph, plan: FaultPlan) -> Self {
+        let mut net = Self::new(g);
+        if !plan.is_none() {
+            net.faults = Some(FaultLayer::new(plan));
+        }
+        net
     }
 
     /// Number of vertices in the network.
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// The delivery round most recently completed (0 before the first
+    /// [`SyncNetwork::advance_round`]).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.metrics.rounds as u64
+    }
+
+    /// Whether `v` is inside a crash window of the installed fault plan at the
+    /// current round (always `false` without faults).
+    #[inline]
+    pub fn is_down(&self, v: NodeId) -> bool {
+        match &self.faults {
+            Some(fl) => fl.plan().is_down(v, self.round()),
+            None => false,
+        }
+    }
+
+    /// Directed-link index of the edge `from -> to` in the flat adjacency: the slot
+    /// of `to` inside `from`'s sorted neighbor row. Used to key per-link state
+    /// (sequence numbers, fault coins) without hashing.
+    #[inline]
+    pub(crate) fn link_index(&self, from: u32, to: u32) -> usize {
+        let row =
+            self.nbr_offsets[from as usize] as usize..self.nbr_offsets[from as usize + 1] as usize;
+        let at = self.nbr_ids[row.clone()]
+            .binary_search(&to)
+            .expect("link_index along a non-edge");
+        row.start + at
+    }
+
+    /// Number of directed links (2m).
+    #[inline]
+    pub(crate) fn num_links(&self) -> usize {
+        self.nbr_ids.len()
+    }
+
+    /// True while messages are still staged or held back in the fault layer's delay
+    /// queue — i.e. another `advance_round` could deliver something.
+    pub(crate) fn in_flight(&self) -> bool {
+        !self.staged.is_empty() || self.faults.as_ref().is_some_and(|fl| fl.has_delayed())
+    }
+
+    /// Mutable metrics access for the reliable-delivery layer's ledger columns.
+    pub(crate) fn metrics_mut(&mut self) -> &mut NetworkMetrics {
+        &mut self.metrics
+    }
+
+    /// Visits every staged record in staging order together with its directed-link
+    /// index, allowing in-place rewrites (the reliable layer stamps sequence numbers
+    /// here, after a `par_step` sweep and before `advance_round`).
+    pub(crate) fn for_each_staged_with_link(&mut self, mut f: impl FnMut(u32, u32, usize, &mut M)) {
+        let (offsets, ids, staged) = (&self.nbr_offsets, &self.nbr_ids, &mut self.staged);
+        for (from, to, msg) in staged.iter_mut() {
+            let row = offsets[*from as usize] as usize..offsets[*from as usize + 1] as usize;
+            let at = ids[row.clone()]
+                .binary_search(to)
+                .expect("staged message along a non-edge");
+            f(*from, *to, row.start + at, msg);
+        }
     }
 
     /// The neighbors of `v` in the communication topology, ascending.
@@ -181,23 +283,63 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
     /// so only traffic that actually reaches a vertex is billed.
     pub fn advance_round(&mut self) {
         self.metrics.rounds += 1;
+        if self.faults.is_some() {
+            // Fault path: run every staged (and newly-due delayed) message through the
+            // plan's coins, then deliver the survivors through the same stable sort.
+            let round = self.metrics.rounds as u64;
+            let mut eff = {
+                let Self {
+                    faults,
+                    staged,
+                    nbr_offsets,
+                    nbr_ids,
+                    metrics,
+                    ..
+                } = self;
+                let fl = faults.as_mut().expect("checked above");
+                fl.apply(round, staged, metrics, |from, to| {
+                    let row = nbr_offsets[from as usize] as usize
+                        ..nbr_offsets[from as usize + 1] as usize;
+                    let at = nbr_ids[row.clone()]
+                        .binary_search(&to)
+                        .expect("staged message along a non-edge");
+                    row.start + at
+                })
+            };
+            self.deliver(&eff);
+            eff.clear();
+            self.faults
+                .as_mut()
+                .expect("checked above")
+                .restore_scratch(eff);
+        } else {
+            let staged = std::mem::take(&mut self.staged);
+            self.deliver(&staged);
+            self.staged = staged;
+            self.staged.clear();
+        }
+    }
+
+    /// Stable counting sort of `records` by recipient into the inbox CSR, billing
+    /// metrics per delivered message.
+    fn deliver(&mut self, records: &[Staged<M>]) {
         let n = self.n;
-        let total = self.staged.len();
+        let total = records.len();
         self.inbox_offsets.clear();
         self.inbox_offsets.resize(n + 1, 0);
-        for &(_, to, _) in &self.staged {
+        for &(_, to, _) in records {
             self.inbox_offsets[to as usize + 1] += 1;
         }
         for v in 0..n {
             self.inbox_offsets[v + 1] += self.inbox_offsets[v];
         }
-        // `perm[j]` = staged index delivered at position `j` (stable counting
+        // `perm[j]` = record index delivered at position `j` (stable counting
         // placement).
         self.cursor.clear();
         self.cursor.extend_from_slice(&self.inbox_offsets[..n]);
         self.perm.clear();
         self.perm.resize(total, 0);
-        for (i, &(_, to, _)) in self.staged.iter().enumerate() {
+        for (i, &(_, to, _)) in records.iter().enumerate() {
             let c = &mut self.cursor[to as usize];
             self.perm[*c as usize] = i as u32;
             *c += 1;
@@ -210,14 +352,13 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
         self.inbox_buf.clear();
         self.inbox_buf.reserve(total);
         for j in 0..total {
-            let (from, _, ref msg) = self.staged[self.perm[j] as usize];
+            let (from, _, ref msg) = records[self.perm[j] as usize];
             let bits = msg.size_bits();
             self.metrics.messages += 1;
             self.metrics.total_bits += bits as u64;
             self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
             self.inbox_buf.push((from as usize, msg.clone()));
         }
-        self.staged.clear();
     }
 
     /// Messages delivered to `v` at the start of the current round.
@@ -281,12 +422,21 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
             let inbox_buf = &self.inbox_buf;
             let nbr_offsets = &self.nbr_offsets;
             let nbr_ids = &self.nbr_ids;
+            // A vertex inside a crash window neither executes nor emits this sweep
+            // (omission model: local state is preserved across the window).
+            let plan = self.faults.as_ref().map(|fl| fl.plan());
+            let down_round = self.metrics.rounds as u64;
             (0..n_blocks)
                 .into_par_iter()
                 .map_init(&scratch, |sc, block| {
                     let mut msgs: Vec<Staged<M>> = Vec::new();
                     let mut payload = B::default();
                     for v in part.block(block) {
+                        if let Some(p) = plan {
+                            if p.is_down(v, down_round) {
+                                continue;
+                            }
+                        }
                         let inbox =
                             &inbox_buf[inbox_offsets[v] as usize..inbox_offsets[v + 1] as usize];
                         let neighbors =
@@ -320,7 +470,23 @@ pub struct VertexOutbox<'a, M> {
     buf: &'a mut Vec<Staged<M>>,
 }
 
-impl<M> VertexOutbox<'_, M> {
+impl<'a, M> VertexOutbox<'a, M> {
+    /// Builds an outbox over an externally owned staging buffer — used by the
+    /// reliable-delivery layer to present a protocol-typed outbox while the real
+    /// transport stages wrapped messages underneath.
+    pub(crate) fn over(from: u32, neighbors: &'a [u32], buf: &'a mut Vec<Staged<M>>) -> Self {
+        VertexOutbox {
+            from,
+            neighbors,
+            buf,
+        }
+    }
+
+    /// The sorted neighbor row this outbox enforces.
+    pub(crate) fn neighbor_row(&self) -> &'a [u32] {
+        self.neighbors
+    }
+
     /// Queues a message from the current vertex to its neighbor `to`.
     ///
     /// Panics if `to` is not adjacent — the CONGEST model only allows communication
@@ -482,17 +648,23 @@ mod tests {
             messages: 10,
             total_bits: 640,
             max_message_bits: 64,
+            ..NetworkMetrics::default()
         };
         let b = NetworkMetrics {
             rounds: 3,
             messages: 5,
             total_bits: 100,
             max_message_bits: 20,
+            retransmits: 2,
+            dropped: 4,
+            ..NetworkMetrics::default()
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
         assert_eq!(a.messages, 15);
         assert_eq!(a.total_bits, 740);
         assert_eq!(a.max_message_bits, 64);
+        assert_eq!(a.retransmits, 2);
+        assert_eq!(a.dropped, 4);
     }
 }

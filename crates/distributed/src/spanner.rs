@@ -53,7 +53,8 @@ use sgs_graph::{EdgeId, Graph, NodeId};
 use sgs_spanner::baswana_sen::{EdgeView, ViewCsr};
 use sgs_spanner::AtomicFlags;
 
-use crate::network::{MessageSize, NetworkMetrics, SyncNetwork, VertexOutbox};
+use crate::faults::{FaultPlan, ReliabilityConfig, ReliableNet};
+use crate::network::{Envelope, MessageSize, NetworkMetrics, SyncNetwork, VertexOutbox};
 
 /// Messages exchanged by the distributed spanner protocol.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +100,14 @@ pub struct DistSpannerConfig {
     pub k: Option<usize>,
     /// RNG seed for the cluster sampling.
     pub seed: u64,
+    /// Deterministic transport faults to inject; [`FaultPlan::none()`] (the default)
+    /// keeps the protocol on the exact pre-fault code path.
+    pub faults: FaultPlan,
+    /// Runs the protocol over the reliable ack/retransmit delivery layer
+    /// ([`ReliableNet`]) when set. Independent of `faults`: the layer can also run on
+    /// a clean network (pure overhead measurement), and a faulty network can run
+    /// without it (raw degradation).
+    pub reliability: Option<ReliabilityConfig>,
 }
 
 impl Default for DistSpannerConfig {
@@ -106,6 +115,8 @@ impl Default for DistSpannerConfig {
         DistSpannerConfig {
             k: None,
             seed: 0xD157,
+            faults: FaultPlan::none(),
+            reliability: None,
         }
     }
 }
@@ -124,6 +135,23 @@ impl DistSpannerConfig {
         self.k = Some(k);
         self
     }
+
+    /// Installs a deterministic fault plan on the transport.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Enables the reliable-delivery (ack/retransmit) layer.
+    pub fn with_fault_tolerance(mut self, cfg: ReliabilityConfig) -> Self {
+        self.reliability = Some(cfg);
+        self
+    }
+
+    /// Whether this config departs from the clean, reliability-assuming protocol.
+    fn fault_mode(&self) -> bool {
+        self.reliability.is_some() || !self.faults.is_none()
+    }
 }
 
 /// Result of the distributed spanner protocol.
@@ -137,6 +165,216 @@ pub struct DistSpannerResult {
 
 /// Sentinel for "no cluster" / "no parent" in the flat state arrays.
 const NONE32: u32 = u32::MAX;
+
+/// The protocol's transport: the raw simulator (possibly with faults installed) or
+/// the reliable ack/retransmit layer on top of it. Both expose the same vertex-program
+/// surface, so the protocol phases are transport-agnostic.
+#[derive(Debug)]
+enum Net {
+    Raw(Box<SyncNetwork<SpannerMsg>>),
+    Ft(Box<ReliableNet<SpannerMsg>>),
+}
+
+impl Net {
+    fn inbox(&self, v: NodeId) -> &[Envelope<SpannerMsg>] {
+        match self {
+            Net::Raw(net) => net.inbox(v),
+            Net::Ft(net) => net.inbox(v),
+        }
+    }
+
+    fn advance_round(&mut self) {
+        match self {
+            Net::Raw(net) => net.advance_round(),
+            Net::Ft(net) => net.advance_round(),
+        }
+    }
+
+    fn metrics(&self) -> &NetworkMetrics {
+        match self {
+            Net::Raw(net) => net.metrics(),
+            Net::Ft(net) => net.metrics(),
+        }
+    }
+
+    fn par_step<T, B, F>(&mut self, scratch: impl Fn() -> T + Sync, step: F) -> Vec<B>
+    where
+        T: Send,
+        B: Send + Default,
+        F: Fn(&mut T, &mut B, NodeId, &[Envelope<SpannerMsg>], &mut VertexOutbox<'_, SpannerMsg>)
+            + Sync,
+    {
+        match self {
+            Net::Raw(net) => net.par_step(scratch, step),
+            Net::Ft(net) => net.par_step(scratch, step),
+        }
+    }
+}
+
+/// What a vertex knows about a neighbor's last `ClusterInfo` broadcast.
+///
+/// The clean protocol reads the simulator-global `reported_*` mirrors — valid only
+/// because delivery is guaranteed ([`MirrorInfo`], `known` ≡ true, compiled to the
+/// exact pre-fault loads). Under faults, knowledge is whatever actually *arrived*
+/// ([`RecvInfo`]): per-directed-link payloads with a freshness bit, so a lost
+/// broadcast reads as "unknown" and the decision sweeps degrade conservatively
+/// instead of acting on stale state.
+trait NbrInfo: Copy + Sync {
+    /// `other`'s cluster center as known to `v` ([`NONE32`] = unclustered or unknown).
+    fn center(&self, v: NodeId, other: NodeId) -> u32;
+    /// `other`'s sampled flag as known to `v` (false when unknown).
+    fn sampled(&self, v: NodeId, other: NodeId) -> bool;
+    /// Whether `v` actually holds fresh info about `other` from the last exchange.
+    fn known(&self, v: NodeId, other: NodeId) -> bool;
+}
+
+/// Reliable-delivery knowledge: the global broadcast mirrors.
+#[derive(Clone, Copy)]
+struct MirrorInfo<'a> {
+    rep_c: &'a [u32],
+    rep_s: &'a [bool],
+}
+
+impl NbrInfo for MirrorInfo<'_> {
+    #[inline]
+    fn center(&self, _v: NodeId, other: NodeId) -> u32 {
+        self.rep_c[other]
+    }
+
+    #[inline]
+    fn sampled(&self, _v: NodeId, other: NodeId) -> bool {
+        self.rep_s[other]
+    }
+
+    #[inline]
+    fn known(&self, _v: NodeId, _other: NodeId) -> bool {
+        true
+    }
+}
+
+/// Received-message knowledge for fault mode, backed by a [`FaultView`].
+#[derive(Clone, Copy)]
+struct RecvInfo<'a> {
+    offsets: &'a [u32],
+    ids: &'a [u32],
+    c: &'a [u32],
+    s: &'a [bool],
+    fresh: &'a [bool],
+}
+
+impl<'a> RecvInfo<'a> {
+    fn new(fv: &'a FaultView) -> Self {
+        RecvInfo {
+            offsets: &fv.offsets,
+            ids: &fv.ids,
+            c: &fv.c,
+            s: &fv.s,
+            fresh: &fv.fresh,
+        }
+    }
+
+    /// Flat slot of the directed link `other -> v` inside `v`'s sorted neighbor row.
+    #[inline]
+    fn slot(&self, v: NodeId, other: NodeId) -> usize {
+        let start = self.offsets[v] as usize;
+        let end = self.offsets[v + 1] as usize;
+        start
+            + self.ids[start..end]
+                .binary_search(&(other as u32))
+                .expect("neighbor info lookup along a non-edge")
+    }
+}
+
+impl NbrInfo for RecvInfo<'_> {
+    #[inline]
+    fn center(&self, v: NodeId, other: NodeId) -> u32 {
+        let s = self.slot(v, other);
+        if self.fresh[s] {
+            self.c[s]
+        } else {
+            NONE32
+        }
+    }
+
+    #[inline]
+    fn sampled(&self, v: NodeId, other: NodeId) -> bool {
+        let s = self.slot(v, other);
+        self.fresh[s] && self.s[s]
+    }
+
+    #[inline]
+    fn known(&self, v: NodeId, other: NodeId) -> bool {
+        self.fresh[self.slot(v, other)]
+    }
+}
+
+/// Fault-mode neighbor knowledge: for every directed link `u -> v`, the last
+/// `ClusterInfo` payload that actually reached `v`, with a per-exchange freshness bit.
+/// Refreshed from the inboxes after every Phase B exchange.
+#[derive(Debug)]
+struct FaultView {
+    /// Sorted flat adjacency, same layout as the simulator's.
+    offsets: Vec<u32>,
+    ids: Vec<u32>,
+    /// Received payloads per link slot (slot of sender inside receiver's row).
+    c: Vec<u32>,
+    s: Vec<bool>,
+    fresh: Vec<bool>,
+}
+
+impl FaultView {
+    fn new(g: &Graph) -> FaultView {
+        let n = g.n();
+        let mut offsets = vec![0u32; n + 1];
+        for e in g.edges() {
+            offsets[e.u + 1] += 1;
+            offsets[e.v + 1] += 1;
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        let mut cursor = offsets.clone();
+        let mut ids = vec![0u32; 2 * g.m()];
+        for e in g.edges() {
+            ids[cursor[e.u] as usize] = e.v as u32;
+            cursor[e.u] += 1;
+            ids[cursor[e.v] as usize] = e.u as u32;
+            cursor[e.v] += 1;
+        }
+        for v in 0..n {
+            ids[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        let links = ids.len();
+        FaultView {
+            offsets,
+            ids,
+            c: vec![NONE32; links],
+            s: vec![false; links],
+            fresh: vec![false; links],
+        }
+    }
+
+    /// Replaces the view with what the latest exchange actually delivered.
+    fn refresh(&mut self, net: &Net) {
+        self.fresh.iter_mut().for_each(|f| *f = false);
+        let n = self.offsets.len() - 1;
+        for v in 0..n {
+            for &(from, ref msg) in net.inbox(v) {
+                if let SpannerMsg::ClusterInfo { center, sampled } = *msg {
+                    let start = self.offsets[v] as usize;
+                    let end = self.offsets[v + 1] as usize;
+                    let slot = start
+                        + self.ids[start..end]
+                            .binary_search(&(from as u32))
+                            .expect("ClusterInfo from a non-neighbor");
+                    self.c[slot] = center.map_or(NONE32, |c| c as u32);
+                    self.s[slot] = sampled;
+                    self.fresh[slot] = true;
+                }
+            }
+        }
+    }
+}
 
 /// Flat per-vertex protocol state. The old per-vertex `BTreeMap`s (alive edges,
 /// neighbor info) live in the [`Protocol`]'s global flat arrays instead.
@@ -167,14 +405,14 @@ struct ClusterScratch {
 }
 
 /// Shared read-only context of one grouping sweep: the edge view plus the
-/// per-endpoint aliveness bitmaps and the last-exchange mirrors.
+/// per-endpoint aliveness bitmaps and the neighbor-knowledge source (the global
+/// mirrors in the clean protocol, the received-message view in fault mode).
 #[derive(Clone, Copy)]
-struct RowCtx<'a> {
+struct RowCtx<'a, I> {
     view: &'a [EdgeView],
     alive_a: &'a [bool],
     alive_b: &'a [bool],
-    rep_c: &'a [u32],
-    rep_s: &'a [bool],
+    info: I,
 }
 
 impl ClusterScratch {
@@ -193,7 +431,7 @@ impl ClusterScratch {
     /// stamped slots + touched list: per group the lightest edge (first-seen on ties,
     /// i.e. lowest edge id) and the cluster's sampled flag. Both the Phase C decision
     /// sweep and the final joining sweep run exactly this grouping.
-    fn group_row(&mut self, v: NodeId, c_v: u32, row: &[u32], ctx: &RowCtx<'_>) {
+    fn group_row<I: NbrInfo>(&mut self, v: NodeId, c_v: u32, row: &[u32], ctx: &RowCtx<'_, I>) {
         self.stamp += 1;
         let stamp = self.stamp;
         self.touched.clear();
@@ -208,10 +446,10 @@ impl ClusterScratch {
             if !own_alive {
                 continue;
             }
-            let c_o = ctx.rep_c[other];
+            let c_o = ctx.info.center(v, other);
             if c_o == NONE32 || c_o == c_v {
-                // Neighbor didn't broadcast (unclustered) or shares the cluster;
-                // intra-cluster edges retire in the local sweep.
+                // Neighbor is unclustered, unheard-from (fault mode), or shares the
+                // cluster; intra-cluster edges retire in the local sweep.
                 continue;
             }
             let c = c_o as usize;
@@ -219,7 +457,7 @@ impl ClusterScratch {
                 self.last_seen[c] = stamp;
                 self.best_w[c] = w;
                 self.best_idx[c] = idx32;
-                self.grp_sampled[c] = ctx.rep_s[other];
+                self.grp_sampled[c] = ctx.info.sampled(v, other);
                 self.touched.push(c_o);
             } else if w < self.best_w[c] {
                 self.best_w[c] = w;
@@ -261,7 +499,11 @@ struct JoinBatch {
 struct Protocol {
     n: usize,
     k: usize,
-    net: SyncNetwork<SpannerMsg>,
+    net: Net,
+    /// Per-link received neighbor knowledge; `Some` exactly in fault mode (faults
+    /// installed and/or the reliable layer enabled), where the global mirrors below
+    /// would assume delivery that may not have happened.
+    fault_view: Option<FaultView>,
     rng: ChaCha8Rng,
     sample_prob: f64,
     /// The active edge view (original ids, ascending) and its flat incidence.
@@ -309,10 +551,20 @@ impl Protocol {
             idx_of[id] = idx as u32;
         }
         let m_view = view.len();
+        let net = if let Some(rc) = &cfg.reliability {
+            Net::Ft(Box::new(ReliableNet::new(
+                g,
+                cfg.faults.clone(),
+                rc.clone(),
+            )))
+        } else {
+            Net::Raw(Box::new(SyncNetwork::with_faults(g, cfg.faults.clone())))
+        };
         Protocol {
             n,
             k,
-            net: SyncNetwork::new(g),
+            net,
+            fault_view: cfg.fault_mode().then(|| FaultView::new(g)),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
             sample_prob: (n as f64).powf(-1.0 / k as f64),
             view,
@@ -422,225 +674,85 @@ impl Protocol {
         }
     }
 
-    /// Phase B: every clustered vertex tells its neighbors its cluster info; the
-    /// broadcast payloads are also mirrored into the `reported_*` arrays.
+    /// Phase B: the neighbor exchange. In the clean protocol every *clustered* vertex
+    /// broadcasts its cluster info and the payloads are mirrored into the
+    /// `reported_*` arrays ("no message" reliably means "unclustered"). In fault mode
+    /// that inference is unsound — a missing message may simply have been lost — so
+    /// *every* vertex broadcasts (unclustered ones with `center: None`) and each
+    /// vertex's knowledge is rebuilt from what actually reached it
+    /// ([`FaultView::refresh`]).
     fn phase_b(&mut self) {
-        for (v, st) in self.states.iter().enumerate() {
-            self.reported_center[v] = st.center;
-            self.reported_sampled[v] = st.sampled;
+        let fault_mode = self.fault_view.is_some();
+        if !fault_mode {
+            for (v, st) in self.states.iter().enumerate() {
+                self.reported_center[v] = st.center;
+                self.reported_sampled[v] = st.sampled;
+            }
         }
         let states = &self.states;
         self.net.par_step(
             || (),
             |_, _: &mut (), v, _inbox, out: &mut VertexOutbox<'_, SpannerMsg>| {
                 let st = &states[v];
-                if st.center != NONE32 {
+                if fault_mode || st.center != NONE32 {
                     out.broadcast(SpannerMsg::ClusterInfo {
-                        center: Some(st.center as usize),
+                        center: (st.center != NONE32).then_some(st.center as usize),
                         sampled: st.sampled,
                     });
                 }
             },
         );
         self.net.advance_round();
+        let Protocol {
+            net, fault_view, ..
+        } = self;
+        if let Some(fv) = fault_view {
+            fv.refresh(net);
+        }
     }
 
     /// Phase C: vertices in unsampled clusters decide (two stamped-scratch passes over
     /// their incidence row), stage `Kill` / `Child` notifications, and the flat
     /// decision batches are committed by a parallel conflict-free flag pass plus a
-    /// small sequential per-vertex state sweep.
+    /// small sequential per-vertex state sweep. Dispatches on the neighbor-knowledge
+    /// source; the generic body is [`phase_c_impl`].
     fn phase_c(&mut self) {
-        let n = self.n;
-        let view = &self.view;
-        let csr = &self.csr;
-        let states = &self.states;
-        let alive_a = &self.alive_a;
-        let alive_b = &self.alive_b;
-        let rep_c = &self.reported_center;
-        let rep_s = &self.reported_sampled;
-        let ctx = RowCtx {
+        let Protocol {
+            net,
+            n,
             view,
+            csr,
+            states,
+            children,
             alive_a,
             alive_b,
-            rep_c,
-            rep_s,
+            in_spanner,
+            reported_center,
+            reported_sampled,
+            fault_view,
+            ..
+        } = self;
+        let sw = SweepState {
+            net,
+            n: *n,
+            view,
+            csr,
+            states,
+            children,
+            alive_a,
+            alive_b,
+            in_spanner,
         };
-        let batches: Vec<PhaseCBatch> = self.net.par_step(
-            || ClusterScratch::new(n),
-            |sc, batch: &mut PhaseCBatch, v, _inbox, out| {
-                let st = &states[v];
-                let c_v = st.center;
-                if c_v == NONE32 || st.sampled {
-                    // Unclustered vertices are settled; sampled clusters carry over.
-                    return;
-                }
-                let row = csr.row(v);
-
-                // Pass 1: the shared stamped grouping sweep.
-                sc.group_row(v, c_v, row, &ctx);
-
-                let adds_before = batch.adds.len();
-                let kills_before = batch.kills.len();
-                let new_center;
-                let new_parent;
-                if sc.touched.is_empty() {
-                    // No clustered foreign neighbor: the vertex leaves the clustering
-                    // and every still-alive own-side edge leaves the protocol.
-                    new_center = NONE32;
-                    new_parent = NONE32;
-                    for &idx32 in row {
-                        let idx = idx32 as usize;
-                        let (_, a, _, _) = view[idx];
-                        let own_alive = if a == v { alive_a[idx] } else { alive_b[idx] };
-                        if own_alive {
-                            batch.kills.push(idx32);
-                        }
-                    }
-                } else {
-                    // Lightest edge into a *sampled* adjacent cluster, ties broken by
-                    // cluster id so the choice is grouping-order independent.
-                    let mut best: Option<(f64, u32)> = None;
-                    for &c in &sc.touched {
-                        if sc.grp_sampled[c as usize] {
-                            let w = sc.best_w[c as usize];
-                            let better = match best {
-                                None => true,
-                                Some((w0, c0)) => w < w0 || (w == w0 && c < c0),
-                            };
-                            if better {
-                                best = Some((w, c));
-                            }
-                        }
-                    }
-                    match best {
-                        None => {
-                            // No sampled cluster adjacent: keep one lightest edge per
-                            // adjacent cluster, discard everything else, and leave.
-                            new_center = NONE32;
-                            new_parent = NONE32;
-                            for &idx32 in row {
-                                let idx = idx32 as usize;
-                                let (_, a, b, _) = view[idx];
-                                let (own_alive, other) = if a == v {
-                                    (alive_a[idx], b)
-                                } else {
-                                    (alive_b[idx], a)
-                                };
-                                if !own_alive {
-                                    continue;
-                                }
-                                let c_o = rep_c[other];
-                                if c_o != NONE32 && c_o != c_v && sc.best_idx[c_o as usize] == idx32
-                                {
-                                    batch.adds.push(idx32);
-                                }
-                                batch.kills.push(idx32);
-                            }
-                        }
-                        Some((w_star, c_star)) => {
-                            // Join the sampled cluster through its lightest edge; also
-                            // keep the lightest edge into every strictly lighter
-                            // neighbor cluster.
-                            let best_idx = sc.best_idx[c_star as usize];
-                            let (_, a, b, _) = view[best_idx as usize];
-                            let p = if a == v { b } else { a };
-                            new_center = c_star;
-                            new_parent = p as u32;
-                            batch.adds.push(best_idx);
-                            for &idx32 in row {
-                                let idx = idx32 as usize;
-                                let (_, a, b, _) = view[idx];
-                                let (own_alive, other) = if a == v {
-                                    (alive_a[idx], b)
-                                } else {
-                                    (alive_b[idx], a)
-                                };
-                                if !own_alive {
-                                    continue;
-                                }
-                                let c_o = rep_c[other];
-                                if c_o == NONE32 || c_o == c_v {
-                                    continue;
-                                }
-                                if c_o == c_star {
-                                    batch.kills.push(idx32);
-                                } else if sc.best_w[c_o as usize] < w_star {
-                                    if sc.best_idx[c_o as usize] == idx32 {
-                                        batch.adds.push(idx32);
-                                    }
-                                    batch.kills.push(idx32);
-                                }
-                            }
-                        }
-                    }
-                }
-
-                // Notifications: one Kill per retired own-side edge, one Child to the
-                // new parent.
-                for &idx32 in &batch.kills[kills_before..] {
-                    let (id, a, b, _) = view[idx32 as usize];
-                    let other = if a == v { b } else { a };
-                    out.send(other, SpannerMsg::Kill { edge: id });
-                }
-                if new_parent != NONE32 {
-                    out.send(new_parent as usize, SpannerMsg::Child);
-                }
-                batch.verts.push(PhaseCDecision {
-                    v: v as u32,
-                    new_center,
-                    new_parent,
-                    add_len: (batch.adds.len() - adds_before) as u32,
-                    kill_len: (batch.kills.len() - kills_before) as u32,
-                });
-            },
-        );
-
-        // Two-phase commit, parallel half: the edge-proportional flag writes. They are
-        // conflict-free — `in_spanner` adds only ever store `true`, and a vertex kills
-        // only its *own* side of an edge (`alive_a` for endpoint `a`, `alive_b` for
-        // `b`), each side owned by exactly one vertex — so the final masks are the
-        // same for every commit order and fixed-seed runs stay bitwise identical
-        // across thread counts.
-        {
-            let view = &self.view;
-            let in_spanner = AtomicFlags::new(&mut self.in_spanner);
-            let alive_a = AtomicFlags::new(&mut self.alive_a);
-            let alive_b = AtomicFlags::new(&mut self.alive_b);
-            batches.par_iter().for_each(|batch| {
-                let mut adds_pos = 0usize;
-                let mut kills_pos = 0usize;
-                for dec in &batch.verts {
-                    let v = dec.v as usize;
-                    for &idx in &batch.adds[adds_pos..adds_pos + dec.add_len as usize] {
-                        in_spanner.set(idx as usize, true);
-                    }
-                    adds_pos += dec.add_len as usize;
-                    for &idx in &batch.kills[kills_pos..kills_pos + dec.kill_len as usize] {
-                        let (_, a, _, _) = view[idx as usize];
-                        if a == v {
-                            alive_a.set(idx as usize, false);
-                        } else {
-                            alive_b.set(idx as usize, false);
-                        }
-                    }
-                    kills_pos += dec.kill_len as usize;
-                }
-            });
+        match fault_view {
+            Some(fv) => phase_c_impl(sw, RecvInfo::new(fv)),
+            None => phase_c_impl(
+                sw,
+                MirrorInfo {
+                    rep_c: reported_center,
+                    rep_s: reported_sampled,
+                },
+            ),
         }
-        // Sequential half: the per-vertex state writes, O(decided vertices) per
-        // iteration (each vertex appears in exactly one batch).
-        for batch in &batches {
-            for dec in &batch.verts {
-                let v = dec.v as usize;
-                // Leaving the clustering and re-clustering are the same writes: the
-                // decision's center/parent are NONE32 for a vertex that left.
-                let st = &mut self.states[v];
-                st.center = dec.new_center;
-                st.parent = dec.new_parent;
-                self.children[v].clear();
-            }
-        }
-        self.net.advance_round();
     }
 
     /// Delivers the Phase C notifications: `Kill` retires the receiver's side of the
@@ -679,52 +791,371 @@ impl Protocol {
     }
 
     /// Intra-cluster edges retire locally (no message needed: both endpoints can see
-    /// the shared center from the latest exchange). Each endpoint drops its own side;
-    /// the per-edge flag writes commute, so the sweeps run in parallel.
+    /// the shared center from the latest exchange — in fault mode only if the
+    /// exchange actually arrived). Each endpoint drops its own side; the per-edge
+    /// flag writes commute, so the sweeps run in parallel.
     fn retain_intra_cluster(&mut self) {
-        let states = &self.states;
-        let rep_c = &self.reported_center;
-        let view = &self.view;
-        self.alive_a
-            .par_iter_mut()
-            .zip(view.par_iter())
-            .for_each(|(alive, &(_, a, b, _))| {
-                if *alive {
-                    let c = states[a].center;
-                    if c != NONE32 && rep_c[b] == c {
-                        *alive = false;
-                    }
-                }
-            });
-        self.alive_b
-            .par_iter_mut()
-            .zip(view.par_iter())
-            .for_each(|(alive, &(_, a, b, _))| {
-                if *alive {
-                    let c = states[b].center;
-                    if c != NONE32 && rep_c[a] == c {
-                        *alive = false;
-                    }
-                }
-            });
+        let Protocol {
+            states,
+            view,
+            alive_a,
+            alive_b,
+            reported_center,
+            reported_sampled,
+            fault_view,
+            ..
+        } = self;
+        match fault_view {
+            Some(fv) => {
+                retain_intra_cluster_impl(states, view, alive_a, alive_b, RecvInfo::new(fv))
+            }
+            None => retain_intra_cluster_impl(
+                states,
+                view,
+                alive_a,
+                alive_b,
+                MirrorInfo {
+                    rep_c: reported_center,
+                    rep_s: reported_sampled,
+                },
+            ),
+        }
     }
 
     /// Phase 2: final vertex–cluster joining — one more exchange, then every vertex
-    /// keeps the lightest still-alive edge into each adjacent foreign cluster.
+    /// keeps the lightest still-alive edge into each adjacent foreign cluster. In
+    /// fault mode an extra conservative pass keeps every still-alive edge whose
+    /// endpoint knowledge is missing or mutually unclustered, so lost exchanges can
+    /// only make the spanner *larger*, never disconnect the surviving computation.
     fn finale(&mut self) {
         self.phase_b();
-        let n = self.n;
-        let view = &self.view;
-        let csr = &self.csr;
-        let states = &self.states;
+        let Protocol {
+            net,
+            n,
+            view,
+            csr,
+            states,
+            children,
+            alive_a,
+            alive_b,
+            in_spanner,
+            reported_center,
+            reported_sampled,
+            fault_view,
+            ..
+        } = self;
+        let sw = SweepState {
+            net,
+            n: *n,
+            view,
+            csr,
+            states,
+            children,
+            alive_a,
+            alive_b,
+            in_spanner,
+        };
+        match fault_view {
+            Some(fv) => finale_impl(sw, RecvInfo::new(fv), true),
+            None => finale_impl(
+                sw,
+                MirrorInfo {
+                    rep_c: reported_center,
+                    rep_s: reported_sampled,
+                },
+                false,
+            ),
+        }
+    }
+}
+
+/// Disjoint mutable borrows of the protocol state shared by the generic decision
+/// sweeps ([`phase_c_impl`], [`finale_impl`]) — destructured out of [`Protocol`] so
+/// the neighbor-knowledge source (which borrows other `Protocol` fields) can be
+/// passed alongside.
+struct SweepState<'a> {
+    net: &'a mut Net,
+    n: usize,
+    view: &'a [EdgeView],
+    csr: &'a ViewCsr,
+    states: &'a mut Vec<VertState>,
+    children: &'a mut Vec<Vec<NodeId>>,
+    alive_a: &'a mut Vec<bool>,
+    alive_b: &'a mut Vec<bool>,
+    in_spanner: &'a mut Vec<bool>,
+}
+
+/// The Phase C body, generic over the neighbor-knowledge source. With [`MirrorInfo`]
+/// (`known` ≡ true) this compiles to exactly the pre-fault decision logic; with
+/// [`RecvInfo`] every kill is gated on *fresh* knowledge of the neighbor, so a lost
+/// broadcast degrades to "leave the edge alive" (a possibly larger spanner), never to
+/// acting on stale state.
+fn phase_c_impl<I: NbrInfo>(sw: SweepState<'_>, info: I) {
+    let SweepState {
+        net,
+        n,
+        view,
+        csr,
+        states,
+        children,
+        alive_a,
+        alive_b,
+        in_spanner,
+    } = sw;
+    let batches: Vec<PhaseCBatch> = {
+        let states: &[VertState] = states;
+        let alive_a: &[bool] = alive_a;
+        let alive_b: &[bool] = alive_b;
         let ctx = RowCtx {
             view,
-            alive_a: &self.alive_a,
-            alive_b: &self.alive_b,
-            rep_c: &self.reported_center,
-            rep_s: &self.reported_sampled,
+            alive_a,
+            alive_b,
+            info,
         };
-        let batches: Vec<JoinBatch> = self.net.par_step(
+        net.par_step(
+            || ClusterScratch::new(n),
+            |sc, batch: &mut PhaseCBatch, v, _inbox, out| {
+                let st = &states[v];
+                let c_v = st.center;
+                if c_v == NONE32 || st.sampled {
+                    // Unclustered vertices are settled; sampled clusters carry over.
+                    return;
+                }
+                let row = csr.row(v);
+
+                // Pass 1: the shared stamped grouping sweep.
+                sc.group_row(v, c_v, row, &ctx);
+
+                let adds_before = batch.adds.len();
+                let kills_before = batch.kills.len();
+                let new_center;
+                let new_parent;
+                if sc.touched.is_empty() {
+                    // No clustered foreign neighbor: the vertex leaves the clustering
+                    // and every still-alive own-side edge with *known* neighbor state
+                    // leaves the protocol (without fresh knowledge the edge stays
+                    // alive — the neighbor may be mid-join on the other side).
+                    new_center = NONE32;
+                    new_parent = NONE32;
+                    for &idx32 in row {
+                        let idx = idx32 as usize;
+                        let (_, a, b, _) = view[idx];
+                        let (own_alive, other) = if a == v {
+                            (alive_a[idx], b)
+                        } else {
+                            (alive_b[idx], a)
+                        };
+                        if own_alive && info.known(v, other) {
+                            batch.kills.push(idx32);
+                        }
+                    }
+                } else {
+                    // Lightest edge into a *sampled* adjacent cluster, ties broken by
+                    // cluster id so the choice is grouping-order independent.
+                    let mut best: Option<(f64, u32)> = None;
+                    for &c in &sc.touched {
+                        if sc.grp_sampled[c as usize] {
+                            let w = sc.best_w[c as usize];
+                            let better = match best {
+                                None => true,
+                                Some((w0, c0)) => w < w0 || (w == w0 && c < c0),
+                            };
+                            if better {
+                                best = Some((w, c));
+                            }
+                        }
+                    }
+                    match best {
+                        None => {
+                            // No sampled cluster adjacent: keep one lightest edge per
+                            // adjacent cluster, discard everything else (that is
+                            // known), and leave.
+                            new_center = NONE32;
+                            new_parent = NONE32;
+                            for &idx32 in row {
+                                let idx = idx32 as usize;
+                                let (_, a, b, _) = view[idx];
+                                let (own_alive, other) = if a == v {
+                                    (alive_a[idx], b)
+                                } else {
+                                    (alive_b[idx], a)
+                                };
+                                if !own_alive || !info.known(v, other) {
+                                    continue;
+                                }
+                                let c_o = info.center(v, other);
+                                if c_o != NONE32 && c_o != c_v && sc.best_idx[c_o as usize] == idx32
+                                {
+                                    batch.adds.push(idx32);
+                                }
+                                batch.kills.push(idx32);
+                            }
+                        }
+                        Some((w_star, c_star)) => {
+                            // Join the sampled cluster through its lightest edge; also
+                            // keep the lightest edge into every strictly lighter
+                            // neighbor cluster.
+                            let best_idx = sc.best_idx[c_star as usize];
+                            let (_, a, b, _) = view[best_idx as usize];
+                            let p = if a == v { b } else { a };
+                            new_center = c_star;
+                            new_parent = p as u32;
+                            batch.adds.push(best_idx);
+                            for &idx32 in row {
+                                let idx = idx32 as usize;
+                                let (_, a, b, _) = view[idx];
+                                let (own_alive, other) = if a == v {
+                                    (alive_a[idx], b)
+                                } else {
+                                    (alive_b[idx], a)
+                                };
+                                if !own_alive {
+                                    continue;
+                                }
+                                let c_o = info.center(v, other);
+                                if c_o == NONE32 || c_o == c_v {
+                                    continue;
+                                }
+                                if c_o == c_star {
+                                    batch.kills.push(idx32);
+                                } else if sc.best_w[c_o as usize] < w_star {
+                                    if sc.best_idx[c_o as usize] == idx32 {
+                                        batch.adds.push(idx32);
+                                    }
+                                    batch.kills.push(idx32);
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Notifications: one Kill per retired own-side edge, one Child to the
+                // new parent.
+                for &idx32 in &batch.kills[kills_before..] {
+                    let (id, a, b, _) = view[idx32 as usize];
+                    let other = if a == v { b } else { a };
+                    out.send(other, SpannerMsg::Kill { edge: id });
+                }
+                if new_parent != NONE32 {
+                    out.send(new_parent as usize, SpannerMsg::Child);
+                }
+                batch.verts.push(PhaseCDecision {
+                    v: v as u32,
+                    new_center,
+                    new_parent,
+                    add_len: (batch.adds.len() - adds_before) as u32,
+                    kill_len: (batch.kills.len() - kills_before) as u32,
+                });
+            },
+        )
+    };
+
+    // Two-phase commit, parallel half: the edge-proportional flag writes. They are
+    // conflict-free — `in_spanner` adds only ever store `true`, and a vertex kills
+    // only its *own* side of an edge (`alive_a` for endpoint `a`, `alive_b` for
+    // `b`), each side owned by exactly one vertex — so the final masks are the
+    // same for every commit order and fixed-seed runs stay bitwise identical
+    // across thread counts.
+    {
+        let in_spanner = AtomicFlags::new(in_spanner);
+        let alive_a = AtomicFlags::new(alive_a);
+        let alive_b = AtomicFlags::new(alive_b);
+        batches.par_iter().for_each(|batch| {
+            let mut adds_pos = 0usize;
+            let mut kills_pos = 0usize;
+            for dec in &batch.verts {
+                let v = dec.v as usize;
+                for &idx in &batch.adds[adds_pos..adds_pos + dec.add_len as usize] {
+                    in_spanner.set(idx as usize, true);
+                }
+                adds_pos += dec.add_len as usize;
+                for &idx in &batch.kills[kills_pos..kills_pos + dec.kill_len as usize] {
+                    let (_, a, _, _) = view[idx as usize];
+                    if a == v {
+                        alive_a.set(idx as usize, false);
+                    } else {
+                        alive_b.set(idx as usize, false);
+                    }
+                }
+                kills_pos += dec.kill_len as usize;
+            }
+        });
+    }
+    // Sequential half: the per-vertex state writes, O(decided vertices) per
+    // iteration (each vertex appears in exactly one batch).
+    for batch in &batches {
+        for dec in &batch.verts {
+            let v = dec.v as usize;
+            // Leaving the clustering and re-clustering are the same writes: the
+            // decision's center/parent are NONE32 for a vertex that left.
+            let st = &mut states[v];
+            st.center = dec.new_center;
+            st.parent = dec.new_parent;
+            children[v].clear();
+        }
+    }
+    net.advance_round();
+}
+
+/// The intra-cluster retirement sweep, generic over the neighbor-knowledge source.
+fn retain_intra_cluster_impl<I: NbrInfo>(
+    states: &[VertState],
+    view: &[EdgeView],
+    alive_a: &mut [bool],
+    alive_b: &mut [bool],
+    info: I,
+) {
+    alive_a
+        .par_iter_mut()
+        .zip(view.par_iter())
+        .for_each(|(alive, &(_, a, b, _))| {
+            if *alive {
+                let c = states[a].center;
+                if c != NONE32 && info.center(a, b) == c {
+                    *alive = false;
+                }
+            }
+        });
+    alive_b
+        .par_iter_mut()
+        .zip(view.par_iter())
+        .for_each(|(alive, &(_, a, b, _))| {
+            if *alive {
+                let c = states[b].center;
+                if c != NONE32 && info.center(b, a) == c {
+                    *alive = false;
+                }
+            }
+        });
+}
+
+/// The final joining sweep, generic over the neighbor-knowledge source. With
+/// `conservative` set (fault mode), every still-alive own-side edge whose neighbor
+/// is unheard-from — or where both sides ended up unclustered, a pairing the clean
+/// protocol can never leave alive — is kept as well.
+fn finale_impl<I: NbrInfo>(sw: SweepState<'_>, info: I, conservative: bool) {
+    let SweepState {
+        net,
+        n,
+        view,
+        csr,
+        states,
+        alive_a,
+        alive_b,
+        in_spanner,
+        ..
+    } = sw;
+    let states: &[VertState] = states;
+    let alive_a: &[bool] = alive_a;
+    let alive_b: &[bool] = alive_b;
+    let batches: Vec<JoinBatch> = {
+        let ctx = RowCtx {
+            view,
+            alive_a,
+            alive_b,
+            info,
+        };
+        net.par_step(
             || ClusterScratch::new(n),
             |sc, batch: &mut JoinBatch, v, _inbox, _out| {
                 sc.group_row(v, states[v].center, csr.row(v), &ctx);
@@ -732,14 +1163,29 @@ impl Protocol {
                     batch.adds.push(sc.best_idx[c as usize]);
                 }
             },
-        );
-        // Same-value (`true`) writes commute, so the joining adds commit in parallel.
-        let in_spanner = AtomicFlags::new(&mut self.in_spanner);
+        )
+    };
+    // Same-value (`true`) writes commute, so the joining adds commit in parallel.
+    {
+        let in_spanner = AtomicFlags::new(in_spanner);
         batches.par_iter().for_each(|batch| {
             for &idx in &batch.adds {
                 in_spanner.set(idx as usize, true);
             }
         });
+    }
+    if conservative {
+        for (idx, &(_, a, b, _)) in view.iter().enumerate() {
+            let keep_a = alive_a[idx]
+                && (!info.known(a, b)
+                    || (states[a].center == NONE32 && info.center(a, b) == NONE32));
+            let keep_b = alive_b[idx]
+                && (!info.known(b, a)
+                    || (states[b].center == NONE32 && info.center(b, a) == NONE32));
+            if keep_a || keep_b {
+                in_spanner[idx] = true;
+            }
+        }
     }
 }
 

@@ -20,6 +20,7 @@ use sgs_core::config::SparsifyConfig;
 use sgs_core::edge_coin;
 use sgs_graph::{Edge, EdgeId, Graph};
 
+use crate::faults::FaultConfig;
 use crate::network::NetworkMetrics;
 use crate::spanner::{distributed_spanner_on_edges, DistSpannerConfig};
 
@@ -40,6 +41,18 @@ pub struct DistSparsifyResult {
 /// One distributed `PARALLELSAMPLE` round on `g`; `cfg` carries the round's accuracy
 /// (`cfg.epsilon`) along with every other knob, matching the shared-memory API.
 pub fn distributed_sample(g: &Graph, cfg: &SparsifyConfig) -> DistSparsifyResult {
+    distributed_sample_with_faults(g, cfg, &FaultConfig::clean())
+}
+
+/// [`distributed_sample`] under a transport fault setup: every spanner run inherits
+/// the fault plan (reseeded per run, so runs see independent fault streams) and the
+/// optional reliable-delivery layer. A clean [`FaultConfig`] keeps the byte stream
+/// identical to [`distributed_sample`].
+pub fn distributed_sample_with_faults(
+    g: &Graph,
+    cfg: &SparsifyConfig,
+    faults: &FaultConfig,
+) -> DistSparsifyResult {
     let n = g.n();
     let m = g.m();
     let t = cfg.bundle_sizing.resolve(n, cfg.epsilon);
@@ -52,10 +65,19 @@ pub fn distributed_sample(g: &Graph, cfg: &SparsifyConfig) -> DistSparsifyResult
         if active.is_empty() {
             break;
         }
-        let spanner_cfg = DistSpannerConfig::with_seed(
-            cfg.seed
-                .wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15)),
-        );
+        let run_seed = cfg
+            .seed
+            .wrapping_add((i as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut spanner_cfg = DistSpannerConfig::with_seed(run_seed);
+        if !faults.is_clean() {
+            // Derive an independent fault-coin stream per spanner run so round `i`'s
+            // losses are not correlated with round `i + 1`'s.
+            spanner_cfg.faults = faults
+                .plan
+                .clone()
+                .with_seed(faults.plan.seed ^ run_seed.rotate_left(17));
+            spanner_cfg.reliability = faults.reliability.clone();
+        }
         let result = distributed_spanner_on_edges(g, &active, &spanner_cfg);
         metrics.absorb(&result.metrics);
         for &id in &result.edge_ids {
@@ -97,6 +119,17 @@ pub fn distributed_sample(g: &Graph, cfg: &SparsifyConfig) -> DistSparsifyResult
 
 /// Distributed `PARALLELSPARSIFY`: `⌈log ρ⌉` rounds of [`distributed_sample`].
 pub fn distributed_sparsify(g: &Graph, cfg: &SparsifyConfig) -> DistSparsifyResult {
+    distributed_sparsify_with_faults(g, cfg, &FaultConfig::clean())
+}
+
+/// [`distributed_sparsify`] under a transport fault setup (see
+/// [`distributed_sample_with_faults`]); a clean setup is byte-identical to
+/// [`distributed_sparsify`].
+pub fn distributed_sparsify_with_faults(
+    g: &Graph,
+    cfg: &SparsifyConfig,
+    faults: &FaultConfig,
+) -> DistSparsifyResult {
     let rounds = cfg.rounds();
     let per_round_eps = cfg.per_round_epsilon();
     let n = g.n();
@@ -114,7 +147,14 @@ pub fn distributed_sparsify(g: &Graph, cfg: &SparsifyConfig) -> DistSparsifyResu
         let mut round_cfg = cfg.clone();
         round_cfg.epsilon = per_round_eps;
         round_cfg.seed = cfg.seed.wrapping_add(round as u64 * 0xD00D);
-        let out = distributed_sample(&current, &round_cfg);
+        let mut round_faults = faults.clone();
+        if !round_faults.is_clean() {
+            // Per-round fault reseed, same rationale as the per-run reseed above.
+            round_faults.plan = round_faults
+                .plan
+                .with_seed(faults.plan.seed ^ (round_cfg.seed).rotate_left(29));
+        }
+        let out = distributed_sample_with_faults(&current, &round_cfg, &round_faults);
         metrics.absorb(&out.metrics);
         bundle_edges = out.bundle_edges;
         current = out.sparsifier;

@@ -37,6 +37,10 @@ pub enum GraphError {
     },
     /// Failure while parsing a graph from text.
     Parse(String),
+    /// A stateful consumer (e.g. a streaming sparsifier) was used again after an
+    /// earlier error left it with partially-applied input. The payload describes the
+    /// original failure.
+    Poisoned(String),
     /// An I/O failure while reading or writing a graph file.
     Io(String),
 }
@@ -63,6 +67,9 @@ impl fmt::Display for GraphError {
                 write!(f, "graphs have different vertex counts: {left} vs {right}")
             }
             GraphError::Parse(msg) => write!(f, "parse error: {msg}"),
+            GraphError::Poisoned(msg) => {
+                write!(f, "poisoned by an earlier partial-ingest failure: {msg}")
+            }
             GraphError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }

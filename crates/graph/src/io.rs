@@ -44,6 +44,16 @@ fn is_skippable(line: &str) -> bool {
     line.is_empty() || line.starts_with('#')
 }
 
+/// Upper bound on how many edges are preallocated from a header's declared `m` alone.
+///
+/// The header is untrusted input: a hostile `n m` line can declare `m` close to
+/// `usize::MAX`, and preallocating that many `Edge`s would abort the process (capacity
+/// overflow or OOM kill) before a single edge line is validated. Growth beyond this
+/// bound is paid by ordinary amortised `Vec` doubling, so honest large files lose
+/// nothing — and a lying header is caught by the edge-count cross-check, returning a
+/// positioned `Err` instead of panicking.
+const MAX_TRUSTED_PREALLOC_EDGES: usize = 1 << 20;
+
 /// Parses the `n m` header line. `line_no` is 1-based and used in error positions.
 fn parse_header(line: &str, line_no: usize) -> Result<(usize, usize)> {
     let mut parts = line.split_whitespace();
@@ -98,7 +108,7 @@ pub fn from_str(text: &str) -> Result<Graph> {
         .next()
         .ok_or_else(|| GraphError::Parse("missing header line".into()))?;
     let (n, m) = parse_header(header, header_no + 1)?;
-    let mut g = Graph::with_capacity(n, m);
+    let mut g = Graph::with_capacity(n, m.min(MAX_TRUSTED_PREALLOC_EDGES));
     for (i, line) in lines {
         let e = parse_edge(line, i + 1, n)?;
         g.push_edge_unchecked(e.u, e.v, e.w);
@@ -240,7 +250,10 @@ pub fn write_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
 /// plus one line buffer, not file-size + edge-list as with `fs::read_to_string`.
 pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
     let mut reader = EdgeBatchReader::open(path)?;
-    let mut g = Graph::with_capacity(reader.n(), reader.declared_edges());
+    let mut g = Graph::with_capacity(
+        reader.n(),
+        reader.declared_edges().min(MAX_TRUSTED_PREALLOC_EDGES),
+    );
     // The reader validates every edge, so they can be moved in unchecked; batches keep
     // the transient buffer small without a per-edge function-call round trip.
     let mut batch: Vec<Edge> = Vec::with_capacity(reader.declared_edges().min(16 * 1024));
@@ -293,6 +306,41 @@ mod tests {
         assert!(from_str("3 2\n0 1 1.0").is_err()); // wrong edge count
         assert!(from_str("2 1\n0 5 1.0").is_err()); // bad vertex
         assert!(from_str("2 1\n0 1 -3.0").is_err()); // bad weight
+    }
+
+    /// Hostile inputs must come back as positioned `Err`s, never as panics or
+    /// pathological allocations. Every case here used to be (or could have been) a
+    /// process-killer: headers declaring ~usize::MAX edges, overflowing integers,
+    /// non-finite weights, and negative ids.
+    #[test]
+    fn hostile_input_errors_instead_of_panicking() {
+        // A header declaring an absurd edge count must not preallocate it; the lie
+        // is caught by the count cross-check with a clean error.
+        let huge_m = format!("3 {}\n0 1 1.0\n", usize::MAX);
+        let err = from_str(&huge_m).unwrap_err();
+        assert!(err.to_string().contains("declared"), "{err}");
+        let mut r = EdgeBatchReader::new(huge_m.as_bytes()).unwrap();
+        assert!(r.next_batch(10, &mut Vec::new()).is_err());
+
+        // Integer overflow in any numeric field is a positioned parse error.
+        assert!(from_str("99999999999999999999999999 1\n0 1 1.0\n").is_err());
+        let err = from_str("3 1\n0 99999999999999999999999999 1.0\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        // Non-finite and non-positive weights are rejected wherever f64 parsing
+        // would otherwise accept them.
+        for w in ["inf", "-inf", "nan", "NaN", "0", "-0.0", "-1e308"] {
+            let text = format!("3 1\n0 1 {w}\n");
+            let err = from_str(&text).unwrap_err();
+            assert!(err.to_string().contains("line 2"), "{w}: {err}");
+        }
+
+        // Negative vertex ids fail the unsigned parse, with position.
+        let err = from_str("3 1\n-1 2 1.0\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        // n = 0 with edges is an out-of-range error, not an index panic.
+        assert!(from_str("0 1\n0 1 1.0\n").is_err());
     }
 
     #[test]

@@ -192,6 +192,85 @@ mod tests {
         assert_eq!(out.stats.batches_ingested, 1);
     }
 
+    /// Failure-atomicity contract: a failed `ingest_batch` changes nothing and the
+    /// sparsifier stays usable; a partial `ingest_iter` failure poisons it, every
+    /// further ingest call names the original error, and `finish` still produces the
+    /// validly-ingested prefix.
+    #[test]
+    fn failed_ingest_is_atomic_or_poisons() {
+        use sgs_graph::GraphError;
+
+        // ingest_batch: atomic — the exact state (stats included) survives the error
+        // and identical input afterwards yields the unperturbed output.
+        let g = generators::erdos_renyi(120, 0.3, 1.0, 19);
+        let c = cfg(g.m() / 3, 7);
+        let clean = stream_in_batches(&g, &c, 4);
+        let mut s = StreamSparsifier::new(g.n(), c.clone());
+        let chunk = g.m().div_ceil(4);
+        for (i, batch) in g.edges().chunks(chunk).enumerate() {
+            if i == 2 {
+                let mut bad = batch.to_vec();
+                bad.push(Edge::new(0, g.n() + 5, 1.0));
+                let before = (s.resident_edges(), s.stats().clone());
+                assert!(s.ingest_batch(&bad).is_err());
+                assert_eq!(before.0, s.resident_edges());
+                assert_eq!(&before.1, s.stats());
+                assert!(s.poisoned().is_none());
+            }
+            s.ingest_batch(batch).unwrap();
+        }
+        assert_eq!(clean.sparsifier.edges(), s.finish().sparsifier.edges());
+
+        // ingest_iter failing before the first edge: state unchanged, not poisoned.
+        let mut s = StreamSparsifier::new(5, cfg(100, 1));
+        assert!(s.ingest_iter([Edge::new(2, 2, 1.0)]).is_err());
+        assert!(s.poisoned().is_none());
+        assert_eq!(s.stats().batches_ingested, 0);
+        assert_eq!(s.resident_edges(), 0);
+
+        // ingest_iter failing after partial progress: poisoned, and every ingest
+        // entry point now reports the original failure.
+        let partial = [
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, f64::INFINITY),
+            Edge::new(2, 3, 1.0),
+        ];
+        assert!(s.ingest_iter(partial).is_err());
+        let why = s
+            .poisoned()
+            .expect("partial failure must poison")
+            .to_string();
+        assert!(
+            why.contains("inf"),
+            "poison reason should name the cause: {why}"
+        );
+        assert_eq!(s.stats().edges_ingested, 1, "valid prefix stays ingested");
+        for result in [
+            s.ingest_batch(&[Edge::new(0, 1, 1.0)]),
+            s.ingest_iter([Edge::new(0, 1, 1.0)]).map(|_| ()),
+        ] {
+            match result {
+                Err(GraphError::Poisoned(msg)) => assert!(msg.contains("inf"), "{msg}"),
+                other => panic!("expected Poisoned, got {other:?}"),
+            }
+        }
+        let mut reader = EdgeBatchReader::new("5 1\n0 1 1.0\n".as_bytes()).expect("valid header");
+        assert!(matches!(
+            s.ingest_reader(&mut reader, 8),
+            Err(GraphError::Poisoned(_))
+        ));
+        // finish still hands back the valid prefix.
+        assert_eq!(s.finish().sparsifier.m(), 1);
+
+        // ingest_reader failing after a full chunk landed: poisoned too.
+        let text = "5 3\n0 1 1.0\n1 2 1.0\nzebra\n";
+        let mut reader = EdgeBatchReader::new(text.as_bytes()).unwrap();
+        let mut s = StreamSparsifier::new(5, cfg(100, 1));
+        assert!(s.ingest_reader(&mut reader, 2).is_err());
+        assert!(s.poisoned().is_some());
+        assert_eq!(s.stats().edges_ingested, 2);
+    }
+
     #[test]
     fn empty_stream_finishes_empty() {
         let s = StreamSparsifier::new(7, cfg(100, 1));

@@ -5,7 +5,7 @@ use std::mem;
 
 use sgs_core::{ErPassConfig, SparsifyEngine};
 use sgs_graph::io::EdgeBatchReader;
-use sgs_graph::{ops, Edge, Graph, Result};
+use sgs_graph::{ops, Edge, Graph, GraphError, Result};
 
 use crate::config::StreamConfig;
 use crate::stats::{ErPassStats, StreamStats};
@@ -70,6 +70,10 @@ pub struct StreamSparsifier {
     /// Reused scratch for `merge_union_many`.
     merge_scratch: Vec<Edge>,
     stats: StreamStats,
+    /// Set when an ingest call failed *after* applying part of its input: the stream
+    /// position is no longer what the caller believes, so further ingestion is
+    /// refused with [`GraphError::Poisoned`] carrying this description.
+    poisoned: Option<String>,
 }
 
 impl StreamSparsifier {
@@ -85,6 +89,7 @@ impl StreamSparsifier {
             engine: SparsifyEngine::new(),
             merge_scratch: Vec::new(),
             stats: StreamStats::default(),
+            poisoned: None,
         }
     }
 
@@ -117,10 +122,32 @@ impl StreamSparsifier {
         Graph::validate_edge(self.n, e.u, e.v, e.w)
     }
 
+    /// If the sparsifier is poisoned, describes the failure that poisoned it.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Errors out of any ingest entry point while the sparsifier is poisoned.
+    fn check_poisoned(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(why) => Err(GraphError::Poisoned(why.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Marks the sparsifier poisoned by `err` (which is also returned), because part
+    /// of a failed ingest call was already applied.
+    fn poison(&mut self, err: GraphError) -> GraphError {
+        self.poisoned = Some(err.to_string());
+        err
+    }
+
     /// Ingests one batch of edges. The batch is validated up front, so on error
-    /// nothing is ingested. Batch boundaries are *only* an ingestion granularity —
-    /// they never influence the output (leaves fire on stream position).
+    /// nothing is ingested — the call is failure-atomic and the sparsifier stays
+    /// usable. Batch boundaries are *only* an ingestion granularity — they never
+    /// influence the output (leaves fire on stream position).
     pub fn ingest_batch(&mut self, edges: &[Edge]) -> Result<()> {
+        self.check_poisoned()?;
         for e in edges {
             self.validate(e)?;
         }
@@ -133,13 +160,28 @@ impl StreamSparsifier {
 
     /// Ingests edges from any iterator — including an `std::sync::mpsc::Receiver`,
     /// which makes a channel a drop-in edge source. Counts as one batch; edges are
-    /// validated one by one, so on error the edges already consumed stay ingested.
+    /// validated one by one, so an `Err` can strike after part of the input was
+    /// applied. In that case the sparsifier is **poisoned**: its stream position no
+    /// longer matches the caller's, so every further ingest call fails with
+    /// [`GraphError::Poisoned`] naming the original failure ([`Self::poisoned`]
+    /// exposes it too; `finish` remains available for the validly-ingested prefix).
+    /// An error before the first edge leaves the state unchanged and unpoisoned.
     /// Returns the number of edges ingested by this call.
     pub fn ingest_iter<I: IntoIterator<Item = Edge>>(&mut self, edges: I) -> Result<u64> {
+        self.check_poisoned()?;
         self.stats.batches_ingested += 1;
         let mut count = 0u64;
         for e in edges {
-            self.validate(&e)?;
+            if let Err(err) = self.validate(&e) {
+                return Err(if count == 0 {
+                    // Nothing was applied: undo the batch count so the call is a
+                    // no-op, exactly like a failed `ingest_batch`.
+                    self.stats.batches_ingested -= 1;
+                    err
+                } else {
+                    self.poison(err)
+                });
+            }
             self.push_edge(e);
             count += 1;
         }
@@ -149,20 +191,33 @@ impl StreamSparsifier {
     /// Drains an [`EdgeBatchReader`] in chunks of `batch_edges`, never holding more
     /// than one chunk of raw input beyond the engine's own budget. Returns the number
     /// of edges ingested.
+    ///
+    /// Each chunk is applied atomically, but a read/parse error after the first chunk
+    /// leaves earlier chunks applied — the sparsifier is then poisoned, with the same
+    /// contract as [`Self::ingest_iter`].
     pub fn ingest_reader<R: BufRead>(
         &mut self,
         reader: &mut EdgeBatchReader<R>,
         batch_edges: usize,
     ) -> Result<u64> {
         assert!(batch_edges > 0, "batch_edges must be positive");
+        self.check_poisoned()?;
         let mut chunk: Vec<Edge> = Vec::with_capacity(batch_edges);
         let mut total = 0u64;
         loop {
             chunk.clear();
-            if reader.next_batch(batch_edges, &mut chunk)? == 0 {
+            let got = match reader.next_batch(batch_edges, &mut chunk) {
+                Ok(got) => got,
+                Err(err) => {
+                    return Err(if total == 0 { err } else { self.poison(err) });
+                }
+            };
+            if got == 0 {
                 break;
             }
-            self.ingest_batch(&chunk)?;
+            if let Err(err) = self.ingest_batch(&chunk) {
+                return Err(if total == 0 { err } else { self.poison(err) });
+            }
             total += chunk.len() as u64;
         }
         Ok(total)

@@ -280,3 +280,81 @@ proptest! {
         }
     }
 }
+
+/// Strategy: adversarial near-format text — a (possibly lying) header followed by lines
+/// of tokens drawn from the numeric/garbage edge-token alphabet. This hits the parser's
+/// structured failure paths far more often than uniformly random bytes would.
+fn near_format_text() -> impl Strategy<Value = String> {
+    let token = prop_oneof![
+        (0usize..200).prop_map(|x| x.to_string()),
+        (-1_000_000_000_000i64..1_000_000_000_000).prop_map(|x| x.to_string()),
+        (-1e308f64..1e308).prop_map(|x| x.to_string()),
+        Just("inf".to_string()),
+        Just("nan".to_string()),
+        Just("99999999999999999999999999".to_string()),
+        Just("zebra".to_string()),
+        Just("#".to_string()),
+        Just("".to_string()),
+    ];
+    let line = proptest::collection::vec(token, 0..5).prop_map(|ts| ts.join(" "));
+    let header = prop_oneof![
+        (0usize..100, 0usize..100).prop_map(|(n, m)| format!("{n} {m}")),
+        Just(format!("3 {}", usize::MAX)),
+        Just("zebra 4".to_string()),
+        Just("".to_string()),
+    ];
+    (header, proptest::collection::vec(line, 0..12))
+        .prop_map(|(h, ls)| format!("{h}\n{}", ls.join("\n")))
+}
+
+/// Strategy: unstructured garbage bytes (control characters included), lossily decoded.
+fn garbage_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0u32..256).prop_map(|b| b as u8), 0..80)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The graph parser is total on hostile input: arbitrary bytes and near-format
+    /// adversarial text both come back as `Ok` or a positioned `Err` — never a panic,
+    /// and never an allocation proportional to what a lying header *declares*.
+    #[test]
+    fn graph_parser_never_panics(garbage in garbage_text(), crafted in near_format_text()) {
+        for text in [garbage.as_str(), crafted.as_str()] {
+            // Whole-text and streaming paths must agree on accept/reject.
+            let whole = spectral_sparsify::graph::io::from_str(text);
+            let streamed = spectral_sparsify::graph::io::EdgeBatchReader::new(text.as_bytes())
+                .and_then(|mut r| {
+                    let mut edges = Vec::new();
+                    while r.next_batch(64, &mut edges)? != 0 {}
+                    Ok(edges)
+                });
+            prop_assert_eq!(whole.is_ok(), streamed.is_ok(), "paths disagree on {:?}", text);
+            if let (Ok(g), Ok(es)) = (&whole, &streamed) {
+                prop_assert_eq!(g.edges(), es.as_slice());
+                for e in g.edges() {
+                    prop_assert!(e.u < g.n() && e.v < g.n() && e.u != e.v);
+                    prop_assert!(e.w.is_finite() && e.w > 0.0);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Serialize → parse is the identity on valid graphs (both read paths).
+    #[test]
+    fn graph_io_round_trips(g in connected_graph()) {
+        let text = spectral_sparsify::graph::io::to_string(&g);
+        let h = spectral_sparsify::graph::io::from_str(&text).unwrap();
+        prop_assert_eq!(g.n(), h.n());
+        prop_assert_eq!(g.m(), h.m());
+        for (a, b) in g.edges().iter().zip(h.edges()) {
+            prop_assert_eq!((a.u, a.v), (b.u, b.v));
+            prop_assert!((a.w - b.w).abs() <= 1e-12 * a.w.abs().max(1.0));
+        }
+    }
+}

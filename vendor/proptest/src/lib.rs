@@ -101,6 +101,83 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// A strategy choosing uniformly among alternatives (backs [`prop_oneof!`]).
+///
+/// Real proptest supports per-variant weights; the shim draws uniformly, which is all
+/// the workspace's properties use.
+pub struct Union<T> {
+    variants: Vec<UnionVariant<T>>,
+}
+
+/// One alternative of a [`Union`]: a boxed generator closure.
+pub type UnionVariant<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+impl<T> Union<T> {
+    /// Builds a union from generator closures; used by the [`prop_oneof!`] macro.
+    pub fn new(variants: Vec<UnionVariant<T>>) -> Self {
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.gen_range(0..self.variants.len());
+        (self.variants[ix])(rng)
+    }
+}
+
+/// Picks uniformly among strategies producing the same value type (the shim's
+/// `prop_oneof!`; weight prefixes are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $({
+                let s = $strat;
+                Box::new(move |rng: &mut $crate::TestRng| $crate::Strategy::generate(&s, rng))
+                    as Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Collection strategies (the shim's `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for vectors whose length is drawn from a range; see [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A `Vec` of values from `elem` with length drawn from `len` (proptest's
+    /// `collection::vec`).
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(
+            !len.is_empty(),
+            "collection::vec needs a non-empty length range"
+        );
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.len.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($($s:ident . $idx:tt),+) => {
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -187,7 +264,8 @@ macro_rules! proptest {
 /// Everything `use proptest::prelude::*` must bring into scope.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestRng,
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy, TestRng,
+        Union,
     };
 }
 
@@ -241,6 +319,19 @@ mod tests {
         #[test]
         fn macro_default_config(b in 0u64..10) {
             prop_assert!(b < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// `prop_oneof!` and `collection::vec` generate within their domains.
+        #[test]
+        fn union_and_vec_strategies(
+            xs in crate::collection::vec(prop_oneof![0usize..10, Just(99usize)], 0..8),
+        ) {
+            prop_assert!(xs.len() < 8);
+            prop_assert!(xs.iter().all(|&x| x < 10usize || x == 99usize));
         }
     }
 }

@@ -105,13 +105,17 @@ fn unit_f64(bits: u64) -> f64 {
 }
 
 macro_rules! impl_int_sample_range {
-    ($($t:ty),*) => {$(
+    ($($t:ty => $u:ty),*) => {$(
         impl SampleUniform for $t {}
 
         impl SampleRange<$t> for std::ops::Range<$t> {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                let span = (self.end as u128 - self.start as u128) as u64;
+                // Wrapping subtraction reinterpreted through the same-width unsigned
+                // type gives the true span for signed ranges too (two's complement),
+                // without the debug-mode overflow a widening subtraction would hit on
+                // negative starts.
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
                 self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
             }
         }
@@ -120,7 +124,7 @@ macro_rules! impl_int_sample_range {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
-                let span = (hi as u128 - lo as u128) as u64;
+                let span = hi.wrapping_sub(lo) as $u as u64;
                 if span == u64::MAX {
                     return rng.next_u64() as $t;
                 }
@@ -130,7 +134,7 @@ macro_rules! impl_int_sample_range {
     )*};
 }
 
-impl_int_sample_range!(usize, u32, u64, i32, i64);
+impl_int_sample_range!(usize => usize, u32 => u32, u64 => u64, i32 => u32, i64 => u64);
 
 impl SampleUniform for f64 {}
 
@@ -230,6 +234,21 @@ mod tests {
             assert!((-2.0..3.0).contains(&f));
             let w = rng.gen_range(0.5f64..=1.5);
             assert!((0.5..=1.5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_handles_negative_and_extreme_signed_bounds() {
+        let mut rng = Counter(13);
+        for _ in 0..1000 {
+            let a = rng.gen_range(-1_000_000_000_000i64..1_000_000_000_000);
+            assert!((-1_000_000_000_000..1_000_000_000_000).contains(&a));
+            let b = rng.gen_range(i64::MIN..i64::MAX);
+            assert!(b < i64::MAX);
+            let c = rng.gen_range(i32::MIN..=i32::MAX);
+            let _ = c; // full inclusive range: every i32 is valid
+            let d = rng.gen_range(-7i32..-3);
+            assert!((-7..-3).contains(&d));
         }
     }
 
