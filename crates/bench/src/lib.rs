@@ -246,8 +246,31 @@ impl Cli {
 
     /// Writes a [`BenchSnapshot`] to the `--bench-json` path when the flag is present.
     pub fn write_bench_json(&self, bench: &str, workload: &Workload, g: &Graph, rows: &[Row]) {
+        self.write_bench_json_labeled(bench, &workload.label(), g.n(), g.m(), rows);
+    }
+
+    /// [`Cli::write_bench_json`] for experiments whose workload is never materialised
+    /// as a [`Graph`] (e.g. generator-driven out-of-core streams): the label and sizes
+    /// are passed explicitly.
+    pub fn write_bench_json_labeled(
+        &self,
+        bench: &str,
+        workload_label: &str,
+        n: usize,
+        m: usize,
+        rows: &[Row],
+    ) {
         if let Some(path) = self.value("--bench-json") {
-            let snapshot = BenchSnapshot::new(bench, workload, g, rows.to_vec());
+            let snapshot = BenchSnapshot {
+                bench: bench.to_string(),
+                workload: workload_label.to_string(),
+                graph_n: n,
+                graph_m: m,
+                host_cores: std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1),
+                rows: rows.to_vec(),
+            };
             let json = serde_json::to_string_pretty(&snapshot).expect("serializable snapshot");
             std::fs::write(&path, json).expect("writing --bench-json file");
             println!("perf snapshot written to {path}");

@@ -12,7 +12,7 @@ use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 
 use crate::builder::GraphBuilder;
-use crate::graph::Graph;
+use crate::graph::{Edge, Graph};
 
 /// Path graph `0 − 1 − … − (n−1)` with uniform weight `w`.
 pub fn path(n: usize, w: f64) -> Graph {
@@ -378,6 +378,88 @@ pub fn expander_dumbbell(half: usize, d: usize, w: f64, bridge_w: f64, seed: u64
     g
 }
 
+/// A deterministic **streaming** edge source: a path skeleton (edges `i − (i+1)`,
+/// guaranteeing connectivity) followed by counter-based pseudo-random extra edges,
+/// produced one at a time so a stream of edges far larger than RAM never has to be
+/// materialised. The out-of-core experiments drive [`crate::Graph`]-free ingestion
+/// ([`sgs-stream`'s `ingest_batch`]) straight off this iterator.
+///
+/// The extra edges are derived from splitmix64 of `(seed, index)` alone — no RNG
+/// state evolves across calls — so any sub-range of the stream can be regenerated
+/// independently and the sequence is identical across platforms, batch chops, and
+/// thread counts.
+#[derive(Debug, Clone)]
+pub struct StreamingEdgeGen {
+    n: usize,
+    total: usize,
+    next: usize,
+    seed: u64,
+}
+
+/// Creates a [`StreamingEdgeGen`] over `n` vertices yielding exactly
+/// `total_edges` edges (`total_edges ≥ n − 1` so the path skeleton fits).
+pub fn streaming_edges(n: usize, total_edges: usize, seed: u64) -> StreamingEdgeGen {
+    assert!(n >= 2, "need at least two vertices");
+    assert!(
+        total_edges >= n - 1,
+        "total_edges must cover the path skeleton"
+    );
+    StreamingEdgeGen {
+        n,
+        total: total_edges,
+        next: 0,
+        seed,
+    }
+}
+
+/// splitmix64: a statistically strong 64-bit mixer with no carried state.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Iterator for StreamingEdgeGen {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        if self.next >= self.total {
+            return None;
+        }
+        let i = self.next;
+        self.next += 1;
+        if i < self.n - 1 {
+            // Path skeleton: keeps every prefix past n−1 edges connected.
+            return Some(Edge {
+                u: i,
+                v: i + 1,
+                w: 1.0,
+            });
+        }
+        // Pseudo-random extra edge: endpoints and weight are pure functions of
+        // (seed, i).
+        let mut k = splitmix64(self.seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+        let u = (k % self.n as u64) as usize;
+        k = splitmix64(k);
+        let mut v = (k % (self.n as u64 - 1)) as usize;
+        if v >= u {
+            v += 1; // skip the diagonal: never a self-loop
+        }
+        k = splitmix64(k);
+        // Weight in [0.5, 1.5): strictly positive, mildly heterogeneous.
+        let w = 0.5 + (k >> 11) as f64 / (1u64 << 53) as f64;
+        Some(Edge { u, v, w })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.total - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for StreamingEdgeGen {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -520,6 +602,35 @@ mod tests {
         assert_eq!(g.n(), 200);
         assert!(g.m() >= 500);
         assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn streaming_edges_is_deterministic_valid_and_connected() {
+        let n = 120;
+        let total = 1000;
+        let edges: Vec<Edge> = streaming_edges(n, total, 42).collect();
+        assert_eq!(edges.len(), total);
+        let mut g = Graph::with_capacity(n, total);
+        for e in &edges {
+            assert_ne!(e.u, e.v, "no self-loops");
+            assert!(e.u < n && e.v < n);
+            assert!(e.w >= 0.5 && e.w < 1.5);
+            g.push_edge_unchecked(e.u, e.v, e.w);
+        }
+        assert!(is_connected(&g), "path skeleton keeps the stream connected");
+        // Stateless: a second pass and a mid-stream restart reproduce the sequence.
+        let again: Vec<Edge> = streaming_edges(n, total, 42).collect();
+        assert_eq!(edges, again);
+        let mut tail = streaming_edges(n, total, 42);
+        for _ in 0..500 {
+            tail.next();
+        }
+        let tail: Vec<Edge> = tail.collect();
+        assert_eq!(&edges[500..], &tail[..]);
+        // A different seed moves the non-skeleton edges.
+        let other: Vec<Edge> = streaming_edges(n, total, 43).collect();
+        assert_eq!(&edges[..n - 1], &other[..n - 1]);
+        assert_ne!(&edges[n - 1..], &other[n - 1..]);
     }
 
     #[test]

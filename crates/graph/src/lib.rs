@@ -19,7 +19,9 @@
 //!   the spanner guarantees of Theorems 1 and 2.
 //! * [`connectivity`], [`traversal`], [`io`] — supporting utilities. [`io`] includes
 //!   [`io::EdgeBatchReader`], a chunked edge-list reader with `O(batch)` resident
-//!   memory that feeds the semi-streaming sparsifier (`sgs-stream`).
+//!   memory that feeds the semi-streaming sparsifier (`sgs-stream`), and
+//!   [`io::BinEdgeReader`] / [`io::BinEdgeWriter`], the bit-exact binary block format
+//!   that backs its out-of-core spill store.
 //!
 //! All randomized constructions take an explicit seed so that parallel runs are
 //! reproducible.
@@ -52,7 +54,7 @@ pub mod prelude {
     pub use crate::error::{GraphError, Result};
     pub use crate::generators;
     pub use crate::graph::{Edge, EdgeId, Graph, NodeId};
-    pub use crate::io::EdgeBatchReader;
+    pub use crate::io::{BinEdgeReader, BinEdgeWriter, EdgeBatchReader};
     pub use crate::metrics::{conductance, cut_weight, degree_stats};
     pub use crate::ops;
     pub use crate::ops::{merge_union, merge_union_many};

@@ -16,12 +16,15 @@
 //! framework. The recursion stops when the level is strongly diagonally dominant, where
 //! a handful of Jacobi sweeps is an adequate (and linear, hence PCG-safe) base solver.
 
+use std::sync::Mutex;
+
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
 use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
 use sgs_graph::{Graph, GraphBuilder};
 use sgs_linalg::cg::Preconditioner;
+use sgs_stream::{StreamOutput, StreamStats};
 
 use crate::sdd::GroundedLaplacian;
 
@@ -94,20 +97,33 @@ impl ChainLevel {
     /// Adjacency application `y = A x` (off-diagonal only, positive weights).
     fn adjacency_apply(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.graph.n()];
+        self.adjacency_apply_in(x, &mut y);
+        y
+    }
+
+    /// Allocation-free [`adjacency_apply`](Self::adjacency_apply): overwrites `y` with
+    /// `A x`, accumulating in the same edge order (bit-identical results).
+    pub fn adjacency_apply_in(&self, x: &[f64], y: &mut [f64]) {
+        y.fill(0.0);
         for e in self.graph.edges() {
             y[e.u] += e.w * x[e.v];
             y[e.v] += e.w * x[e.u];
         }
-        y
     }
 
     /// Full operator application `y = (D − A) x = L x + excess .* x`.
     pub fn apply(&self, x: &[f64]) -> Vec<f64> {
-        let mut y = self.graph.laplacian_apply(x);
+        let mut y = vec![0.0; self.graph.n()];
+        self.apply_in(x, &mut y);
+        y
+    }
+
+    /// Allocation-free [`apply`](Self::apply) writing into a caller-provided buffer.
+    pub fn apply_in(&self, x: &[f64], y: &mut [f64]) {
+        self.graph.laplacian_apply_into(x, y);
         for ((yi, xi), ei) in y.iter_mut().zip(x).zip(&self.excess) {
             *yi += ei * xi;
         }
-        y
     }
 
     /// Ratio `min_v excess_v / degree_v` (∞ when the graph has no edges); the dominance
@@ -177,6 +193,77 @@ impl Chain {
         self.apply_inverse_from(0, b)
     }
 
+    /// Allocation-free [`apply_inverse`](Self::apply_inverse): writes the result into
+    /// `out`, reusing the buffers of `scratch` (grown on first use, then stable).
+    ///
+    /// Performs the same floating-point operations in the same order as
+    /// `apply_inverse`, so results are **bit-identical** — the CG outer loop can switch
+    /// between the two without perturbing a single iterate.
+    pub fn apply_inverse_in(&self, b: &[f64], out: &mut [f64], scratch: &mut ChainScratch) {
+        let n = self.levels[0].graph.n();
+        assert_eq!(b.len(), n, "right-hand side has wrong dimension");
+        assert_eq!(out.len(), n, "output buffer has wrong dimension");
+        scratch.prepare(self.levels.len(), n);
+        self.apply_inverse_rec(0, b, out, &mut scratch.levels);
+    }
+
+    fn apply_inverse_rec(&self, level: usize, b: &[f64], out: &mut [f64], bufs: &mut [LevelBufs]) {
+        let lvl = &self.levels[level];
+        let (mine, rest) = bufs
+            .split_first_mut()
+            .expect("scratch shallower than chain");
+        if level + 1 == self.levels.len() {
+            jacobi_sweeps_in(lvl, b, self.config.base_jacobi_sweeps, out, &mut mine.tmp);
+            return;
+        }
+        // x = 1/2 [ D^{-1} b + (I + D^{-1} A) M̃^{-1} (I + A D^{-1}) b ], with the
+        // inner solve's result z landing directly in `out` (one shared buffer for the
+        // whole recursion) and `tmp` serving as both A·D⁻¹b and A·z.
+        for ((di, bi), d) in mine.din.iter_mut().zip(b).zip(&lvl.diagonal) {
+            *di = bi / d;
+        }
+        lvl.adjacency_apply_in(&mine.din, &mut mine.tmp);
+        for ((yi, bi), ai) in mine.rhs.iter_mut().zip(b).zip(&mine.tmp) {
+            *yi = bi + ai;
+        }
+        self.apply_inverse_rec(level + 1, &mine.rhs, out, rest);
+        lvl.adjacency_apply_in(out, &mut mine.tmp);
+        for ((zi, di_b), (azi, d)) in out
+            .iter_mut()
+            .zip(&mine.din)
+            .zip(mine.tmp.iter().zip(&lvl.diagonal))
+        {
+            let x2 = *zi + azi / d;
+            *zi = 0.5 * (di_b + x2);
+        }
+    }
+
+    /// A reusable, lock-guarded preconditioner view over this chain: each
+    /// [`Preconditioner::apply`] call runs [`apply_inverse_in`](Self::apply_inverse_in)
+    /// against one persistent [`ChainScratch`], so the PCG outer loop performs no
+    /// per-iteration allocation.
+    pub fn preconditioner(&self) -> ChainPreconditioner<'_> {
+        ChainPreconditioner {
+            chain: self,
+            scratch: Mutex::new(ChainScratch::default()),
+        }
+    }
+
+    /// Builds a chain (and the grounded system it preconditions) **directly from a
+    /// streaming run's output** — the out-of-core path: the original graph, which may
+    /// be arbitrarily larger than RAM, is never materialised; only its sparsifier
+    /// (already resident, `O(n log n)` edges) is grounded and chained.
+    pub fn build_from_stream(output: StreamOutput, config: &ChainConfig) -> StreamChain {
+        let StreamOutput { sparsifier, stats } = output;
+        let system = GroundedLaplacian::from_graph(sparsifier);
+        let chain = Chain::build(&system, config);
+        StreamChain {
+            chain,
+            system,
+            stream_stats: stats,
+        }
+    }
+
     fn apply_inverse_from(&self, level: usize, b: &[f64]) -> Vec<f64> {
         let lvl = &self.levels[level];
         if level + 1 == self.levels.len() {
@@ -212,6 +299,72 @@ impl Preconditioner for Chain {
     }
 }
 
+/// Per-level workspace for [`Chain::apply_inverse_in`]. One `d_inv_b`/`tmp`/`rhs`
+/// triple per level; the solution itself lives in the caller's `out` buffer, shared by
+/// the whole recursion.
+#[derive(Debug, Default)]
+struct LevelBufs {
+    din: Vec<f64>,
+    tmp: Vec<f64>,
+    rhs: Vec<f64>,
+}
+
+/// Reusable buffers for [`Chain::apply_inverse_in`]: three n-vectors per chain level,
+/// grown on first use and reused verbatim afterwards.
+#[derive(Debug, Default)]
+pub struct ChainScratch {
+    levels: Vec<LevelBufs>,
+}
+
+impl ChainScratch {
+    /// An empty scratch; buffers are sized on the first
+    /// [`Chain::apply_inverse_in`] call.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, depth: usize, n: usize) {
+        if self.levels.len() < depth {
+            self.levels.resize_with(depth, LevelBufs::default);
+        }
+        for bufs in &mut self.levels[..depth] {
+            bufs.din.resize(n, 0.0);
+            bufs.tmp.resize(n, 0.0);
+            bufs.rhs.resize(n, 0.0);
+        }
+    }
+}
+
+/// A [`Preconditioner`] over a [`Chain`] that owns a persistent [`ChainScratch`]
+/// behind a mutex, making every application allocation-free after the first. Built via
+/// [`Chain::preconditioner`].
+#[derive(Debug)]
+pub struct ChainPreconditioner<'a> {
+    chain: &'a Chain,
+    scratch: Mutex<ChainScratch>,
+}
+
+impl Preconditioner for ChainPreconditioner<'_> {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        let mut scratch = self.scratch.lock().expect("chain scratch lock poisoned");
+        self.chain.apply_inverse_in(r, z, &mut scratch);
+    }
+}
+
+/// A chain built from a streaming sparsifier run: the grounded system (of the
+/// *sparsifier*, the only graph ever resident), its approximate inverse chain, and the
+/// spill/accuracy ledger the stream carried. Produced by [`Chain::build_from_stream`].
+#[derive(Debug)]
+pub struct StreamChain {
+    /// The approximate inverse chain over the sparsifier's grounded Laplacian.
+    pub chain: Chain,
+    /// The grounded system the chain preconditions.
+    pub system: GroundedLaplacian,
+    /// Accounting of the streaming run that produced the sparsifier (peak resident
+    /// bytes, spill ledger, ε spent).
+    pub stream_stats: StreamStats,
+}
+
 /// A fixed number of Jacobi sweeps for `M x = b`; a linear operator in `b`, which makes
 /// it safe to use inside a (non-flexible) PCG iteration.
 fn jacobi_sweeps(level: &ChainLevel, b: &[f64], sweeps: usize) -> Vec<f64> {
@@ -229,6 +382,21 @@ fn jacobi_sweeps(level: &ChainLevel, b: &[f64], sweeps: usize) -> Vec<f64> {
         }
     }
     x
+}
+
+/// Allocation-free [`jacobi_sweeps`] writing the iterate into `x` and using `ax` as the
+/// adjacency scratch; identical operation order, bit-identical results.
+fn jacobi_sweeps_in(level: &ChainLevel, b: &[f64], sweeps: usize, x: &mut [f64], ax: &mut [f64]) {
+    for ((xi, bi), di) in x.iter_mut().zip(b).zip(&level.diagonal) {
+        *xi = bi / di;
+    }
+    for _ in 0..sweeps {
+        // x ← D⁻¹ (b + A x)
+        level.adjacency_apply_in(x, ax);
+        for i in 0..x.len() {
+            x[i] = (b[i] + ax[i]) / level.diagonal[i];
+        }
+    }
 }
 
 /// Builds level `i + 1` from level `i`: the two-hop graph of `M̃ = D − A D⁻¹ A`
@@ -423,6 +591,62 @@ mod tests {
                 "Jacobi base case must be linear"
             );
         }
+    }
+
+    #[test]
+    fn apply_inverse_in_is_bitwise_equal_to_apply_inverse() {
+        // The `_in` path is the one the PCG loop uses; it must perform the exact same
+        // floating-point operations as the allocating reference, so iterates (and
+        // therefore every golden solve fixture) are unchanged to the last bit.
+        let g = generators::erdos_renyi(180, 0.12, 1.0, 21);
+        let system = GroundedLaplacian::from_graph(g);
+        let chain = Chain::build(&system, &ChainConfig::default());
+        assert!(chain.depth() >= 2, "want a recursive chain for this pin");
+        let n = system.n();
+        let mut scratch = ChainScratch::new();
+        let mut out = vec![0.0; n];
+        for seed in 0..4u64 {
+            let b = vector::random_unit_orthogonal(n, seed);
+            let reference = chain.apply_inverse(&b);
+            // Scratch is deliberately reused across right-hand sides.
+            chain.apply_inverse_in(&b, &mut out, &mut scratch);
+            for (i, (a, c)) in reference.iter().zip(&out).enumerate() {
+                assert_eq!(a.to_bits(), c.to_bits(), "component {i} diverged");
+            }
+        }
+        // The mutex-guarded preconditioner view is the same computation.
+        use sgs_linalg::cg::Preconditioner as _;
+        let pre = chain.preconditioner();
+        let b = vector::random_unit_orthogonal(n, 9);
+        let reference = chain.apply_inverse(&b);
+        let mut z = vec![0.0; n];
+        pre.apply(&b, &mut z);
+        assert_eq!(
+            reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            z.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn build_from_stream_matches_building_from_the_sparsifier() {
+        use sgs_stream::StreamConfig;
+        use sgs_stream::StreamSparsifier;
+        let g = generators::erdos_renyi(150, 0.2, 1.0, 13);
+        let cfg = StreamConfig::new(0.5, g.m() / 2).with_seed(3);
+        let mut s = StreamSparsifier::new(g.n(), cfg);
+        s.ingest_batch(g.edges()).unwrap();
+        let output = s.finish();
+        let expect_edges = output.sparsifier.edges().to_vec();
+        let chain_cfg = ChainConfig::default();
+        let direct = {
+            let system = GroundedLaplacian::from_graph(output.sparsifier.clone());
+            Chain::build(&system, &chain_cfg)
+        };
+        let streamed = Chain::build_from_stream(output, &chain_cfg);
+        assert_eq!(streamed.system.graph().edges(), &expect_edges[..]);
+        assert_eq!(streamed.chain.depth(), direct.depth());
+        assert_eq!(streamed.chain.total_edges(), direct.total_edges());
+        assert!(streamed.stream_stats.edges_ingested > 0);
     }
 
     #[test]

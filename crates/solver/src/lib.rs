@@ -16,6 +16,15 @@
 //! * [`solve`] — the user-facing [`solve::SddSolver`]: preconditioned conjugate gradient
 //!   on the original system with the chain as preconditioner, plus reference solvers
 //!   (plain CG, Jacobi-PCG) for the comparison experiments (E8).
+//!
+//! The solver also plugs into the out-of-core streaming pipeline:
+//! [`chain::Chain::build_from_stream`] / [`solve::SddSolver::for_stream`] ground and
+//! chain a [`sgs_stream::StreamOutput`]'s sparsifier directly, so a graph far larger
+//! than RAM can be streamed (optionally spilling through `sgs_stream`'s `SpillStore`)
+//! and then solved without ever materialising it. The chain's
+//! [`chain::ChainPreconditioner`] (via [`chain::Chain::preconditioner`]) applies the
+//! approximate inverse through a reusable [`chain::ChainScratch`], keeping the PCG
+//! outer loop allocation-free.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,6 +33,6 @@ pub mod chain;
 pub mod sdd;
 pub mod solve;
 
-pub use chain::{Chain, ChainConfig, ChainLevel};
+pub use chain::{Chain, ChainConfig, ChainLevel, ChainPreconditioner, ChainScratch, StreamChain};
 pub use sdd::GroundedLaplacian;
 pub use solve::{SddSolver, SolveOutcome, SolverConfig, SolverMethod};

@@ -140,8 +140,12 @@ impl LinearOperator for GroundedLaplacian {
         self.n()
     }
     fn apply_into(&self, x: &[f64], y: &mut [f64]) {
-        let out = self.apply(x);
-        y.copy_from_slice(&out);
+        // Allocation-free: this is the hot SPMV of every PCG iteration. Same
+        // operation order as `apply`, so results are bit-identical.
+        self.graph.laplacian_apply_into(x, y);
+        for ((yi, xi), ei) in y.iter_mut().zip(x).zip(&self.excess) {
+            *yi += ei * xi;
+        }
     }
 }
 

@@ -2,6 +2,8 @@
 
 use sgs_core::{BundleSizing, SamplingPolicy, SparsifyConfig};
 
+use crate::store::{SpillConfig, StorageConfig};
+
 /// SplitMix64 finalizer (same mix as `sgs_core::sample`): full 64-bit avalanche.
 #[inline]
 fn splitmix64(mut z: u64) -> u64 {
@@ -81,6 +83,12 @@ pub struct StreamConfig {
     /// the tree output; `Some` reserves `epsilon_fraction` of `ε_total` for the pass
     /// and runs the merge-and-reduce tree at the remaining `(1 − f) · ε_total`.
     pub final_pass: Option<FinalPassConfig>,
+    /// Where pending tree nodes live: [`StorageConfig::Memory`] (the default; every
+    /// node resident, byte-identical to the pre-spill engine) or
+    /// [`StorageConfig::Spill`], which bounds the store's resident edge bytes by
+    /// spilling cold deep nodes to disk. Storage placement never affects the output
+    /// (see `crate::store` for the determinism contract).
+    pub storage: StorageConfig,
 }
 
 /// Configuration of the ER-weighted final pass run by `StreamSparsifier::finish`.
@@ -194,6 +202,7 @@ impl StreamConfig {
             leaf_sampling: SamplingPolicy::uniform(),
             interior_sampling: SamplingPolicy::uniform(),
             final_pass: None,
+            storage: StorageConfig::Memory,
         }
     }
 
@@ -258,6 +267,20 @@ impl StreamConfig {
     /// Enables the ER-weighted final pass (see [`FinalPassConfig`]).
     pub fn with_final_pass(mut self, pass: FinalPassConfig) -> Self {
         self.final_pass = Some(pass);
+        self
+    }
+
+    /// Overrides the node-storage backend.
+    pub fn with_storage(mut self, storage: StorageConfig) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Enables out-of-core node storage (see [`SpillConfig`]): pending tree nodes
+    /// beyond the spill budget are written to disk and read back only at reduction
+    /// time, with fixed-seed output bitwise identical to in-memory storage.
+    pub fn with_spill(mut self, spill: SpillConfig) -> Self {
+        self.storage = StorageConfig::Spill(spill);
         self
     }
 

@@ -19,6 +19,15 @@
 //! Fixed-seed output is bitwise identical across rayon thread counts **and** across
 //! batch boundaries (leaves fire on stream position, not on `ingest` call shape).
 //!
+//! Node storage is pluggable ([`store::EdgeStore`]): by default every pending
+//! sparsifier stays resident ([`store::MemStore`]); [`StreamConfig::with_spill`]
+//! switches to [`store::SpillStore`], which bounds the store's resident edge bytes
+//! by writing cold deep tree nodes to disk in `sgs_graph::io`'s bit-exact binary
+//! format and reading them back only at reduction time. Spill placement is a pure
+//! function of stream position, so fixed-seed output stays bitwise identical across
+//! storage backends too — only the [`SpillLedger`] columns of [`StreamStats`]
+//! differ.
+//!
 //! ```
 //! use sgs_graph::generators;
 //! use sgs_stream::{StreamConfig, StreamSparsifier};
@@ -46,16 +55,19 @@
 pub mod config;
 pub mod sparsifier;
 pub mod stats;
+pub mod store;
 
 pub use config::{FinalPassConfig, StreamConfig};
 pub use sparsifier::{StreamOutput, StreamSparsifier};
-pub use stats::{ErPassStats, LevelStats, StreamStats};
+pub use stats::{ErPassStats, LevelStats, SpillLedger, StreamStats};
+pub use store::{EdgeStore, MemStore, NodeHandle, SpillConfig, SpillStore, StorageConfig};
 
 /// Commonly used items for downstream crates and examples.
 pub mod prelude {
     pub use crate::config::{FinalPassConfig, StreamConfig};
     pub use crate::sparsifier::{StreamOutput, StreamSparsifier};
-    pub use crate::stats::{ErPassStats, LevelStats, StreamStats};
+    pub use crate::stats::{ErPassStats, LevelStats, SpillLedger, StreamStats};
+    pub use crate::store::{EdgeStore, MemStore, SpillConfig, SpillStore, StorageConfig};
 }
 
 #[cfg(test)]
@@ -407,6 +419,49 @@ mod tests {
         // (1 − f) ε_total schedule, so outputs legitimately differ from `plain`.
         assert!(passed.stats.epsilon_spent() <= plain.stats.epsilon_spent() + 1e-12);
         assert_eq!(ledger.m_in, ledger.m_out);
+    }
+
+    #[test]
+    fn spill_store_output_is_bitwise_identical_to_memory() {
+        // A budget comfortably above the compression floor (m/2 with arity-2
+        // bundles keeps forced reductions at zero): the tree parks cold deep nodes,
+        // which is where spilling pays. Under budget pressure every forced
+        // reduction re-unions the whole pending set in RAM, so the peak is the
+        // union itself and no storage policy can lower it — the ledger columns
+        // still hold there, but the RAM-win assertion below would not.
+        let g = generators::erdos_renyi(300, 0.4, 1.0, 29);
+        let base = StreamConfig::new(0.75, g.m() / 2)
+            .with_bundle_sizing(BundleSizing::Fixed(2))
+            .with_seed(7);
+        let mem_out = stream_in_batches(&g, &base, 16);
+        assert_eq!(
+            mem_out.stats.forced_reductions, 0,
+            "healthy regime required"
+        );
+        // A store budget a small fraction of the tree budget guarantees real
+        // spilling.
+        let spill = base
+            .clone()
+            .with_spill(SpillConfig::new(g.m() / 24 * crate::store::EDGE_BYTES));
+        let spill_out = stream_in_batches(&g, &spill, 16);
+        assert_eq!(mem_out.sparsifier.edges(), spill_out.sparsifier.edges());
+        assert!(
+            mem_out.stats.eq_modulo_storage(&spill_out.stats),
+            "algorithmic stats must not depend on storage:\n{:?}\nvs\n{:?}",
+            mem_out.stats,
+            spill_out.stats
+        );
+        let ledger = spill_out.stats.spill;
+        assert!(ledger.spilled_nodes > 0, "spilling must actually happen");
+        assert!(ledger.readback_nodes <= ledger.spilled_nodes);
+        assert_eq!(mem_out.stats.spill, SpillLedger::default());
+        // The whole point: spilling lowers the RAM high-water mark.
+        assert!(
+            spill_out.stats.peak_resident_bytes < mem_out.stats.peak_resident_bytes,
+            "spill peak {} vs mem peak {}",
+            spill_out.stats.peak_resident_bytes,
+            mem_out.stats.peak_resident_bytes
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use sgs_graph::{ops, Edge, Graph, GraphError, Result};
 
 use crate::config::StreamConfig;
 use crate::stats::{ErPassStats, StreamStats};
+use crate::store::{EdgeStore, NodeHandle, EDGE_BYTES};
 
 /// Result of a streaming run: the final sparsifier plus the accounting that backs the
 /// memory and accuracy claims.
@@ -61,9 +62,14 @@ pub struct StreamSparsifier {
     n: usize,
     /// Leaf buffer; its allocation is made once and recycled through every leaf graph.
     buffer: Vec<Edge>,
-    /// `levels[j]` holds pending sparsifiers of application depth `j` (oldest first).
-    levels: Vec<Vec<Graph>>,
-    /// Total edges across all pending sparsifiers (`levels`), maintained incrementally.
+    /// `levels[j]` holds handles to pending sparsifiers of application depth `j`
+    /// (oldest first). The graphs themselves live in `store`.
+    levels: Vec<Vec<NodeHandle>>,
+    /// Where pending sparsifiers live: all in RAM (`MemStore`, the default) or
+    /// partially spilled to disk (`SpillStore`). Placement never affects the output.
+    store: Box<dyn EdgeStore>,
+    /// Total edges across all pending sparsifiers (`levels`), maintained
+    /// incrementally — the *logical* census, regardless of where the edges live.
     resident_nodes: usize,
     /// Re-entrant sparsifier (reused spanner view/CSR/masks across every reduction).
     engine: SparsifyEngine,
@@ -80,11 +86,13 @@ impl StreamSparsifier {
     /// Creates a streaming sparsifier over a fixed vertex set `0..n`.
     pub fn new(n: usize, cfg: StreamConfig) -> StreamSparsifier {
         let leaf_capacity = cfg.leaf_capacity();
+        let store = cfg.storage.build();
         StreamSparsifier {
             cfg,
             n,
             buffer: Vec::with_capacity(leaf_capacity),
             levels: Vec::new(),
+            store,
             resident_nodes: 0,
             engine: SparsifyEngine::new(),
             merge_scratch: Vec::new(),
@@ -142,10 +150,14 @@ impl StreamSparsifier {
         err
     }
 
-    /// Ingests one batch of edges. The batch is validated up front, so on error
-    /// nothing is ingested — the call is failure-atomic and the sparsifier stays
-    /// usable. Batch boundaries are *only* an ingestion granularity — they never
-    /// influence the output (leaves fire on stream position).
+    /// Ingests one batch of edges. The batch is validated up front, so on a
+    /// validation error nothing is ingested — the call is failure-atomic and the
+    /// sparsifier stays usable. A *storage* failure (spill I/O under
+    /// `StorageConfig::Spill`; impossible with in-memory storage) can strike after
+    /// part of the batch was applied, in which case the sparsifier is poisoned with
+    /// the same contract as [`Self::ingest_iter`]. Batch boundaries are *only* an
+    /// ingestion granularity — they never influence the output (leaves fire on
+    /// stream position).
     pub fn ingest_batch(&mut self, edges: &[Edge]) -> Result<()> {
         self.check_poisoned()?;
         for e in edges {
@@ -153,7 +165,9 @@ impl StreamSparsifier {
         }
         self.stats.batches_ingested += 1;
         for &e in edges {
-            self.push_edge(e);
+            if let Err(err) = self.push_edge(e) {
+                return Err(self.poison(err));
+            }
         }
         Ok(())
     }
@@ -182,7 +196,11 @@ impl StreamSparsifier {
                     self.poison(err)
                 });
             }
-            self.push_edge(e);
+            // A storage failure always poisons: the edge is already buffered, so the
+            // stream position has moved even when it was this call's first edge.
+            if let Err(err) = self.push_edge(e) {
+                return Err(self.poison(err));
+            }
             count += 1;
         }
         Ok(count)
@@ -223,7 +241,7 @@ impl StreamSparsifier {
         Ok(total)
     }
 
-    fn push_edge(&mut self, e: Edge) {
+    fn push_edge(&mut self, e: Edge) -> Result<()> {
         self.buffer.push(e);
         self.stats.edges_ingested += 1;
         // Adaptive positional trigger (see StreamConfig::leaf_capacity): flush once
@@ -236,8 +254,9 @@ impl StreamSparsifier {
             || (b >= self.cfg.min_leaf_edges()
                 && 2 * b + self.resident_nodes >= self.cfg.budget_edges);
         if full {
-            self.flush_leaf();
+            self.flush_leaf()?;
         }
+        Ok(())
     }
 
     fn note_peak(&mut self, resident: usize) {
@@ -246,23 +265,39 @@ impl StreamSparsifier {
         }
     }
 
+    /// Records a RAM high-water mark: `in_ram_edges` edges actually resident (store
+    /// residents + buffer + transients; spilled nodes excluded), in bytes.
+    fn note_peak_bytes(&mut self, in_ram_edges: usize) {
+        let bytes = in_ram_edges * EDGE_BYTES;
+        if bytes > self.stats.peak_resident_bytes {
+            self.stats.peak_resident_bytes = bytes;
+        }
+    }
+
+    /// Copies the store's spill/readback ledger into the running stats.
+    fn sync_store_ledger(&mut self) {
+        self.stats.spill = self.store.ledger();
+    }
+
     /// Sparsifies the current buffer into a depth-0 node, then restores the tree
     /// invariants (fan-in cascade + budget enforcement).
-    fn flush_leaf(&mut self) {
+    fn flush_leaf(&mut self) -> Result<()> {
         debug_assert!(!self.buffer.is_empty());
         let census = self.buffer.len() + self.resident_nodes;
         self.note_peak(census);
+        self.note_peak_bytes(self.buffer.len() + self.store.resident_edges());
         let leaf = Graph::from_edges_unchecked(self.n, mem::take(&mut self.buffer));
         let out = self.run_sparsify(&leaf, 0);
         let census = leaf.m() + self.resident_nodes + out.m();
         self.note_peak(census);
+        self.note_peak_bytes(leaf.m() + self.store.resident_edges() + out.m());
         // Recycle the buffer allocation out of the leaf graph.
         self.buffer = leaf.into_edges();
         self.buffer.clear();
         self.stats.leaves += 1;
-        self.push_node(0, out);
-        self.cascade();
-        self.enforce_budget();
+        self.push_node(0, out)?;
+        self.cascade()?;
+        self.enforce_budget()
     }
 
     /// Runs one `PARALLELSPARSIFY` reduction at application depth `j`, updating the
@@ -281,28 +316,44 @@ impl StreamSparsifier {
         out.sparsifier
     }
 
-    fn push_node(&mut self, level: usize, g: Graph) {
+    fn push_node(&mut self, level: usize, g: Graph) -> Result<()> {
         while self.levels.len() <= level {
             self.levels.push(Vec::new());
         }
         self.resident_nodes += g.m();
-        self.levels[level].push(g);
+        let h = self.store.put(level, g)?;
+        self.levels[level].push(h);
+        self.sync_store_ledger();
+        Ok(())
     }
 
     /// Merges a group of same-vertex-set sparsifiers and resparsifies the union at
     /// application depth `j`, pushing the result to `levels[j]`.
     ///
-    /// The union is built **in place**: each child is drained into the reused merge
-    /// scratch (and freed) before the next, the scratch is coalesced in place
+    /// The union is built **in place**: each child is taken from the store (read
+    /// back from disk if it was spilled), drained into the reused merge scratch, and
+    /// freed before the next, the scratch is coalesced in place
     /// ([`ops::coalesce_in_place`]), and the union graph takes ownership of the
     /// scratch allocation (reclaimed after the reduction). The transient high-water
     /// mark is therefore one copy of the group's edges, not two.
-    fn reduce_group(&mut self, group: Vec<Graph>, j: usize, forced: bool) {
+    fn reduce_group(&mut self, group: Vec<NodeHandle>, j: usize, forced: bool) -> Result<()> {
         debug_assert!(group.len() >= 2);
         self.merge_scratch.clear();
-        self.merge_scratch
-            .reserve(group.iter().map(Graph::m).sum::<usize>());
-        for child in group {
+        self.merge_scratch.reserve(
+            group
+                .iter()
+                .map(|&h| self.store.node_edges(h))
+                .sum::<usize>(),
+        );
+        for h in group {
+            let child = self.store.take(h)?;
+            // Read-back spike: the child is briefly resident on top of the scratch.
+            self.note_peak_bytes(
+                self.buffer.len()
+                    + self.store.resident_edges()
+                    + self.merge_scratch.len()
+                    + child.m(),
+            );
             for e in child.edges() {
                 let (u, v) = e.key();
                 self.merge_scratch.push(Edge { u, v, w: e.w });
@@ -310,6 +361,7 @@ impl StreamSparsifier {
             self.resident_nodes -= child.m();
             drop(child);
         }
+        self.sync_store_ledger();
         // Transient high-water mark: the uncoalesced union plus everything pending.
         let census = self.buffer.len() + self.resident_nodes + self.merge_scratch.len();
         self.note_peak(census);
@@ -318,36 +370,39 @@ impl StreamSparsifier {
         let out = self.run_sparsify(&union, j);
         let census = self.buffer.len() + self.resident_nodes + union.m() + out.m();
         self.note_peak(census);
+        self.note_peak_bytes(self.buffer.len() + self.store.resident_edges() + union.m() + out.m());
         // Reclaim the scratch allocation from the union graph.
         self.merge_scratch = union.into_edges();
         self.merge_scratch.clear();
         if forced {
             self.stats.forced_reductions += 1;
         }
-        self.push_node(j, out);
+        self.push_node(j, out)
     }
 
     /// Reduces every level that has reached the configured fan-in, bottom-up.
-    fn cascade(&mut self) {
+    fn cascade(&mut self) -> Result<()> {
         let mut i = 0;
         while i < self.levels.len() {
             if self.levels[i].len() >= self.cfg.arity {
                 let group = mem::take(&mut self.levels[i]);
-                self.reduce_group(group, i + 1, false);
+                self.reduce_group(group, i + 1, false)?;
             }
             i += 1;
         }
+        Ok(())
     }
 
     /// Forces reductions until pending sparsifiers fit in the non-buffer half of the
     /// budget (or a single sparsifier remains, at which point reduction cannot help).
-    fn enforce_budget(&mut self) {
+    fn enforce_budget(&mut self) -> Result<()> {
         let limit = self.cfg.budget_edges / 2;
         while self.resident_nodes > limit {
-            if !self.force_reduce_once() {
+            if !self.force_reduce_once()? {
                 break;
             }
         }
+        Ok(())
     }
 
     /// One budget-pressure reduction: merge the shallowest mergeable group. If the
@@ -355,16 +410,16 @@ impl StreamSparsifier {
     /// non-empty level (charged at that level's ε — the schedule is infinite, so
     /// depth growth never exhausts the ε budget). Returns false when fewer than two
     /// sparsifiers are pending.
-    fn force_reduce_once(&mut self) -> bool {
+    fn force_reduce_once(&mut self) -> Result<bool> {
         let Some(a) = self.levels.iter().position(|l| !l.is_empty()) else {
-            return false;
+            return Ok(false);
         };
         if self.levels[a].len() >= 2 {
             let group = mem::take(&mut self.levels[a]);
-            self.reduce_group(group, a + 1, true);
+            self.reduce_group(group, a + 1, true)?;
             // The forced push may have filled a higher level to its fan-in.
-            self.cascade();
-            return true;
+            self.cascade()?;
+            return Ok(true);
         }
         let Some(b) = self
             .levels
@@ -372,15 +427,15 @@ impl StreamSparsifier {
             .enumerate()
             .position(|(i, l)| i > a && !l.is_empty())
         else {
-            return false;
+            return Ok(false);
         };
         // Chronological order: the deeper nodes hold older data, the shallow node the
         // newest — merge oldest-first so float accumulation order tracks the stream.
         let mut group = mem::take(&mut self.levels[b]);
         group.extend(mem::take(&mut self.levels[a]));
-        self.reduce_group(group, b + 1, true);
-        self.cascade();
-        true
+        self.reduce_group(group, b + 1, true)?;
+        self.cascade()?;
+        Ok(true)
     }
 
     /// Flushes the trailing partial leaf and collapses the tree to a single
@@ -389,9 +444,19 @@ impl StreamSparsifier {
     /// The result approximates the Laplacian of the *entire* ingested multigraph
     /// within the configured `ε_total` (see `StreamConfig` for the schedule math, and
     /// [`StreamStats::epsilon_spent`] for the realized ledger).
-    pub fn finish(mut self) -> StreamOutput {
+    ///
+    /// With in-memory storage (the default) finishing cannot fail; with
+    /// `StorageConfig::Spill` a disk failure panics here — out-of-core callers
+    /// should prefer [`Self::try_finish`].
+    pub fn finish(self) -> StreamOutput {
+        self.try_finish()
+            .expect("storage failure while finishing (use try_finish for spill stores)")
+    }
+
+    /// [`Self::finish`], surfacing storage failures as errors instead of panicking.
+    pub fn try_finish(mut self) -> Result<StreamOutput> {
         if !self.buffer.is_empty() {
-            self.flush_leaf();
+            self.flush_leaf()?;
         }
         loop {
             let total = self.pending_sparsifiers();
@@ -405,21 +470,28 @@ impl StreamSparsifier {
                 .expect("non-empty tree");
             if self.levels[i].len() >= 2 {
                 let group = mem::take(&mut self.levels[i]);
-                self.reduce_group(group, i + 1, false);
+                self.reduce_group(group, i + 1, false)?;
             } else {
                 // Promote the lone node without spending ε or work; it will be merged
-                // with the next level's group (conservatively skipping ε_{i+1}).
-                let node = self.levels[i].pop().expect("checked non-empty");
-                let m = node.m();
-                self.resident_nodes -= m;
-                self.push_node(i + 1, node);
+                // with the next level's group (conservatively skipping ε_{i+1}). The
+                // handle just moves — the store (and its spill placement) is
+                // untouched, so no bytes move either.
+                let h = self.levels[i].pop().expect("checked non-empty");
+                while self.levels.len() <= i + 1 {
+                    self.levels.push(Vec::new());
+                }
+                self.levels[i + 1].push(h);
             }
         }
-        let mut sparsifier = self
-            .levels
-            .iter_mut()
-            .find_map(|l| l.pop())
-            .unwrap_or_else(|| Graph::new(self.n));
+        let mut sparsifier = match self.levels.iter_mut().find_map(|l| l.pop()) {
+            Some(h) => {
+                let g = self.store.take(h)?;
+                self.resident_nodes -= g.m();
+                self.sync_store_ledger();
+                g
+            }
+            None => Graph::new(self.n),
+        };
         self.stats.final_depth = self
             .stats
             .levels
@@ -453,9 +525,9 @@ impl StreamSparsifier {
             sparsifier = out.sparsifier;
         }
 
-        StreamOutput {
+        Ok(StreamOutput {
             sparsifier,
             stats: self.stats,
-        }
+        })
     }
 }

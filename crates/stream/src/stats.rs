@@ -41,6 +41,29 @@ pub struct ErPassStats {
     pub resampled: bool,
 }
 
+/// Byte-level ledger of an [`crate::store::EdgeStore`]: what was written to and read
+/// back from disk, and the high-water mark of edge bytes actually held in RAM.
+///
+/// These are the *storage* columns of [`StreamStats`] — unlike every other column
+/// they legitimately differ between `MemStore` and `SpillStore` on the same stream
+/// (that difference is the whole point), so determinism fixtures comparing the two
+/// stores must exclude them (see [`StreamStats::eq_modulo_storage`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillLedger {
+    /// Tree nodes written to disk.
+    pub spilled_nodes: u64,
+    /// Edges written to disk (sum over spilled nodes).
+    pub spilled_edges: u64,
+    /// Bytes written to disk (binary-format file sizes, headers included).
+    pub spilled_bytes: u64,
+    /// Spilled nodes read back for a reduction.
+    pub readback_nodes: u64,
+    /// Edges read back from disk.
+    pub readback_edges: u64,
+    /// Bytes read back from disk.
+    pub readback_bytes: u64,
+}
+
 /// Aggregated counters for one streaming run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StreamStats {
@@ -62,10 +85,19 @@ pub struct StreamStats {
     /// Application depth of the final sparsifier (number of ε-schedule entries its
     /// data passed through on the deepest path).
     pub final_depth: usize,
+    /// Maximum edge **bytes** simultaneously held in RAM: the same census points as
+    /// [`peak_resident_edges`](Self::peak_resident_edges), but counting only edges
+    /// actually resident (spilled nodes excluded) at `size_of::<Edge>()` bytes each,
+    /// plus the transient read-back spike while a spilled child is drained into the
+    /// merge scratch. With `MemStore` this is exactly `24 · peak_resident_edges`-ish;
+    /// with `SpillStore` it is the number the out-of-core RSS budget bounds.
+    pub peak_resident_bytes: usize,
     /// Per-depth ledger, indexed by application depth.
     pub levels: Vec<LevelStats>,
     /// Ledger of the ER-weighted final pass, `None` unless one was configured and ran.
     pub er_pass: Option<ErPassStats>,
+    /// Spill/readback ledger of the node store (all zeros under `MemStore`).
+    pub spill: SpillLedger,
 }
 
 impl StreamStats {
@@ -99,6 +131,21 @@ impl StreamStats {
             .map(|p| p.epsilon)
             .unwrap_or(0.0);
         tree + pass
+    }
+
+    /// Equality of every *algorithmic* column, ignoring the storage columns
+    /// ([`spill`](Self::spill) and [`peak_resident_bytes`](Self::peak_resident_bytes))
+    /// that legitimately differ between `MemStore` and `SpillStore`. This is the
+    /// comparison the spill-determinism fixtures pin: same edges, same weights, same
+    /// ledger — only *where the bytes lived* may differ.
+    pub fn eq_modulo_storage(&self, other: &StreamStats) -> bool {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        a.spill = SpillLedger::default();
+        b.spill = SpillLedger::default();
+        a.peak_resident_bytes = 0;
+        b.peak_resident_bytes = 0;
+        a == b
     }
 
     /// Total work proxy across all reductions (spanner + sampling operations), the

@@ -2,8 +2,9 @@
 # One-command replication of every committed benchmark number.
 #
 # Rebuilds, from source, the snapshots behind BENCH_2/3/7 (shared-memory scaling,
-# er n=4000 deg=150), BENCH_4 (distributed CONGEST engine, er n=2000 deg=60) and
-# BENCH_5/6 (semi-streaming + leverage-aware sampling, same workload) — the numbers
+# er n=4000 deg=150), BENCH_4 (distributed CONGEST engine, er n=2000 deg=60),
+# BENCH_5/6 (semi-streaming + leverage-aware sampling, same workload) and BENCH_9
+# (out-of-core spill + solve, generator stream n=1000 / 600k edges) — the numbers
 # quoted in README "Performance" — into replication/out/, then diffs each against
 # the committed snapshot with the same bench_compare budget CI uses.
 #
@@ -48,6 +49,14 @@ run cargo run --release -p sgs-bench --bin exp_stream -- \
     --n 2000 --deg 60 --batches 8 --budget-edges 30000 --threads 1,2,4 \
     --json-out "$OUT/exp_stream.json" --bench-json "$OUT/BENCH_stream.json"
 
+# --- Out-of-core streaming + solve (BENCH_9) ----------------------------------------
+# The binary asserts the spill contract itself (bitwise-identical output, spill peak
+# under the RSS gate the in-memory run busts, solve from the spilled stream); this
+# step therefore also replays the deterministic ledger, not just the wall-clock.
+run cargo run --release -p sgs-bench --bin exp_outofcore -- \
+    --n 1000 --total-edges 600000 --budget-edges 100000 --threads 1,4 \
+    --json-out "$OUT/exp_outofcore.json" --bench-json "$OUT/BENCH_9.json"
+
 # --- Compare against the committed snapshots (same budgets as CI) -------------------
 status=0
 gate() { run cargo run --release -p sgs-bench --bin bench_compare -- "$@" || status=1; }
@@ -56,6 +65,7 @@ gate BENCH_7.json "$OUT/BENCH_7.json" --max-regress 0.25 --metrics spanner_ms,sp
 gate BENCH_4.json "$OUT/BENCH_4.json" --max-regress 0.25 --metrics dist_sample_ms,dist_spanner_ms
 gate BENCH_5.json "$OUT/BENCH_stream.json" --max-regress 0.25 --metrics stream_sparsify_ms,peak_resident_edges
 gate BENCH_6.json "$OUT/BENCH_stream.json" --max-regress 0.25 --metrics m_out_er,er_pass_ms
+gate BENCH_9.json "$OUT/BENCH_9.json" --max-regress 0.25 --metrics stream_spill_ms,solve_ms
 
 if [[ "$REFRESH" == 1 ]]; then
     sha=$(git rev-parse --short HEAD)
@@ -63,7 +73,8 @@ if [[ "$REFRESH" == 1 ]]; then
     cp "$OUT/BENCH_4.json" BENCH_4.json
     cp "$OUT/BENCH_stream.json" BENCH_5.json
     cp "$OUT/BENCH_stream.json" BENCH_6.json
-    for f in BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json; do
+    cp "$OUT/BENCH_9.json" BENCH_9.json
+    for f in BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_9.json; do
         run cargo run --release -p sgs-bench --bin perf_history -- \
             "$f" --commit "$sha" --source "replication/$f"
     done

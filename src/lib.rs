@@ -12,10 +12,13 @@
 //! * [`spanner`] — Baswana–Sen spanners and t-bundle spanners ([`sgs_spanner`]).
 //! * [`sparsify`] — PARALLELSAMPLE / PARALLELSPARSIFY and baselines ([`sgs_core`]).
 //! * [`stream`] — the bounded-memory semi-streaming sparsifier (merge-and-reduce over
-//!   edge batches, [`sgs_stream`]).
+//!   edge batches, [`sgs_stream`]), including the out-of-core [`stream::SpillStore`]
+//!   that pages cold merge-tree nodes to disk under a resident-byte budget.
 //! * [`distributed`] — the synchronous CONGEST-style simulator ([`sgs_distributed`]).
 //! * [`solver`] — the Peng–Spielman-style SDD solver built on the sparsifier
-//!   ([`sgs_solver`]).
+//!   ([`sgs_solver`]); [`solver::SddSolver::for_stream`] consumes a
+//!   [`stream::StreamOutput`] directly, so a spilled stream feeds the chain without
+//!   re-materialising the input graph.
 //!
 //! ## Quickstart
 //!
@@ -65,5 +68,8 @@ pub mod prelude {
         SparsifyEngine, SparsifyOutput,
     };
     pub use sgs_graph::{generators, Edge, Graph};
-    pub use sgs_stream::{FinalPassConfig, StreamConfig, StreamOutput, StreamSparsifier};
+    pub use sgs_stream::{
+        FinalPassConfig, SpillConfig, SpillLedger, StorageConfig, StreamConfig, StreamOutput,
+        StreamSparsifier,
+    };
 }

@@ -16,9 +16,11 @@
 //!
 //! and document the change in vendor/README.md (as for `golden_spanner.rs`).
 
-use spectral_sparsify::graph::{generators, Graph};
+use spectral_sparsify::graph::{generators, Edge, Graph};
 use spectral_sparsify::sparsify::BundleSizing;
-use spectral_sparsify::stream::{StreamConfig, StreamOutput, StreamSparsifier};
+use spectral_sparsify::stream::{
+    SpillConfig, SpillLedger, StreamConfig, StreamOutput, StreamSparsifier,
+};
 
 /// FNV-1a over each edge's `(u, v, w)` — endpoints as little-endian u64, the weight
 /// by its exact bit pattern, so any reweighting drift re-pins the fixture.
@@ -175,6 +177,62 @@ fn acceptance_er4000_budget_quarter_m() {
     assert_eq!(one.sparsifier.edges(), out.sparsifier.edges());
     assert_eq!(one.stats.levels, out.stats.levels);
     assert_eq!(one.stats.peak_resident_edges, out.stats.peak_resident_edges);
+}
+
+/// Storage-backend determinism: replaying a fixture through a `SpillStore` whose
+/// budget forces most tree nodes to disk reproduces the **pinned** fingerprint —
+/// same edges, same weight bits, same algorithmic accounting — at every batch chop
+/// and thread count. Only the storage columns (`peak_resident_bytes`, the spill
+/// ledger) may differ from the in-memory run; that difference is the point of the
+/// spill store, and `eq_modulo_storage` pins everything else.
+#[test]
+fn stream_fixtures_survive_spilling_across_chops_and_threads() {
+    for &(name, seed, m_out, fp, ..) in &GOLDEN_STREAM[..6] {
+        let g = graph(name);
+        // A store budget of ~a tenth of the tree budget guarantees real spill traffic.
+        let store_budget_bytes = (g.m() / 30).max(8) * std::mem::size_of::<Edge>();
+        for batches in [1usize, 11] {
+            let mem = run(&g, seed, batches);
+            assert_eq!(
+                mem.stats.spill,
+                SpillLedger::default(),
+                "in-memory runs must report an empty spill ledger"
+            );
+            for threads in [1usize, 4] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let out = pool.install(|| {
+                    let cfg = config(&g, seed).with_spill(SpillConfig::new(store_budget_bytes));
+                    let mut s = StreamSparsifier::new(g.n(), cfg);
+                    let chunk = g.m().div_ceil(batches).max(1);
+                    for batch in g.edges().chunks(chunk) {
+                        s.ingest_batch(batch).unwrap();
+                    }
+                    s.finish()
+                });
+                let label = format!("{name}/seed {seed}/{batches} batch(es)/{threads} thread(s)");
+                assert_eq!(out.sparsifier.m(), m_out, "{label}: m_out");
+                assert_eq!(fingerprint(&out.sparsifier), fp, "{label}: fingerprint");
+                assert_eq!(
+                    out.sparsifier.edges(),
+                    mem.sparsifier.edges(),
+                    "{label}: edge streams"
+                );
+                assert!(
+                    mem.stats.eq_modulo_storage(&out.stats),
+                    "{label}: algorithmic stats drifted:\n{:?}\nvs\n{:?}",
+                    mem.stats,
+                    out.stats
+                );
+                assert!(
+                    out.stats.spill.spilled_nodes > 0,
+                    "{label}: fixture exercised no spilling"
+                );
+            }
+        }
+    }
 }
 
 /// Re-pin helper: prints the fixture table in the exact source format.

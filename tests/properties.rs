@@ -358,3 +358,79 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Binary serialize → parse is the **bit-exact** identity on valid graphs: unlike
+    /// the text format, endpoints and weight bit patterns survive unchanged, which is
+    /// what lets the spill store round-trip merge-tree nodes without perturbing the
+    /// deterministic output stream.
+    #[test]
+    fn bin_io_round_trips_bit_exact(g in connected_graph(), chunk in 1usize..97) {
+        let mut bytes = Vec::new();
+        {
+            let mut w = spectral_sparsify::graph::io::BinEdgeWriter::new(&mut bytes, g.n(), g.m())
+                .unwrap();
+            w.write_batch(g.edges()).unwrap();
+            w.finish().unwrap();
+        }
+        let mut r = spectral_sparsify::graph::io::BinEdgeReader::new(bytes.as_slice()).unwrap();
+        prop_assert_eq!(r.n(), g.n());
+        let mut edges = Vec::new();
+        while r.next_batch(chunk, &mut edges).unwrap() != 0 {}
+        prop_assert_eq!(edges.len(), g.m());
+        for (a, b) in g.edges().iter().zip(&edges) {
+            prop_assert_eq!((a.u, a.v), (b.u, b.v));
+            prop_assert_eq!(a.w.to_bits(), b.w.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The binary reader is total on hostile input: arbitrary bytes, truncations of a
+    /// valid file at every depth, and single-byte corruptions all come back as `Ok` or
+    /// a positioned `Err` — never a panic, and never an allocation proportional to
+    /// what a lying header *declares*.
+    #[test]
+    fn bin_reader_never_panics(
+        garbage in proptest::collection::vec((0u32..256).prop_map(|b| b as u8), 0..96),
+        cut in 0usize..4096,
+        corrupt in (0u32..256).prop_map(|b| b as u8),
+        pos in 0usize..4096,
+    ) {
+        let g = generators::erdos_renyi(40, 0.2, 1.0, 7);
+        let mut valid = Vec::new();
+        {
+            let mut w = spectral_sparsify::graph::io::BinEdgeWriter::new(&mut valid, g.n(), g.m())
+                .unwrap();
+            w.write_batch(g.edges()).unwrap();
+            w.finish().unwrap();
+        }
+        let truncated = &valid[..cut.min(valid.len())];
+        let mut corrupted = valid.clone();
+        let at = pos % corrupted.len();
+        corrupted[at] ^= corrupt;
+        for bytes in [garbage.as_slice(), truncated, corrupted.as_slice()] {
+            let fed = match spectral_sparsify::graph::io::BinEdgeReader::new(bytes) {
+                Ok(mut r) => {
+                    let mut edges = Vec::new();
+                    let mut total = 0usize;
+                    loop {
+                        match r.next_batch(64, &mut edges) {
+                            Ok(0) => break,
+                            Ok(k) => total += k,
+                            Err(_) => break,
+                        }
+                    }
+                    total
+                }
+                Err(_) => 0,
+            };
+            // Whatever came back before any error is a prefix of real records.
+            prop_assert!(fed <= g.m());
+        }
+    }
+}
