@@ -20,6 +20,9 @@
 //! * `--json-out PATH` — write the rows as a JSON file (for CI artifacts).
 //! * `--bench-json PATH` — write a `BENCH_*.json` perf snapshot (graph size, host
 //!   cores, wall-clock per thread count) for the repo-root perf trajectory.
+//! * `--trace-out PATH` / `--report-out PATH` — record the run through `sgs-obs` and
+//!   write a Chrome `trace_event` JSON / append a `RunReport` JSONL line. Tracing
+//!   changes no output: the kept edge set and every counter stay byte-identical.
 //!
 //! Reading the output: `sparsify_ms` / `spanner_ms` / `bundle_ms` are wall-clock; the
 //! `*_speedup` columns are relative to the first (usually 1-thread) row, so ideal
@@ -33,13 +36,15 @@
 //! may change. `bench_compare` diffs two `--bench-json` snapshots and fails on
 //! single-thread wall-clock regressions (the CI perf gate).
 
-use sgs_bench::{print_table, time_ms, Cli, Row, Workload};
+use sgs_bench::{print_table, report, time_ms, Cli, Row, Workload};
 use sgs_core::{parallel_sparsify, BundleSizing, SparsifyConfig};
 use sgs_distributed::{distributed_sample, distributed_spanner, DistSpannerConfig};
+use sgs_obs::RunReport;
 use sgs_spanner::{baswana_sen_spanner, t_bundle, BundleConfig, SpannerConfig};
 
 fn main() {
     let cli = Cli::parse();
+    let sink = cli.start_observability();
     let n = cli.usize_flag("--n", 4000);
     let deg = cli.usize_flag("--deg", 150);
     let thread_counts = cli.threads(&[1, 2, 4, 8, 16]);
@@ -57,6 +62,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut baseline_sparsify = f64::NAN;
     let mut baseline_spanner = f64::NAN;
+    let mut last_work = None;
+    let mut last_net = None;
     for &threads in &thread_counts {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
@@ -91,6 +98,7 @@ fn main() {
             .push("m_out", sparsify_out.sparsifier.m() as f64)
             .push("spanner_edges", spanner_out.edge_ids.len() as f64)
             .push("bundle_edges", bundle_out.bundle_size as f64);
+        last_work = Some(sparsify_out.stats.clone());
         if distributed {
             // Same workload through the CONGEST simulator: the wall clock tracks the
             // engine, the rounds/messages/bits columns track Theorem 2 / Corollary 3
@@ -110,6 +118,7 @@ fn main() {
                 .push("dist_bits", dist_out.metrics.total_bits as f64)
                 .push("dist_m_out", dist_out.sparsifier.m() as f64)
                 .push("dist_spanner_edges", dist_sp.edge_ids.len() as f64);
+            last_net = Some(dist_out.metrics.clone());
         }
         rows.push(row);
     }
@@ -124,4 +133,16 @@ fn main() {
 
     cli.write_json_out(&rows);
     cli.write_bench_json("exp_scaling", &workload, &g, &rows);
+
+    let mut run_report = RunReport::new("exp_scaling", &workload.label());
+    for section in report::rows_sections(&rows) {
+        run_report.push(section);
+    }
+    if let Some(work) = &last_work {
+        run_report.push(report::work_stats_section(work));
+    }
+    if let Some(metrics) = &last_net {
+        run_report.push(report::network_metrics_section(metrics));
+    }
+    cli.finish_observability(sink, &run_report);
 }

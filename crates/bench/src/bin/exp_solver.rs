@@ -8,14 +8,22 @@
 //! quantity whose `Õ((m + m′) log κ)` bound drives the solver's total work.
 //!
 //! Run with: `cargo run --release -p sgs-bench --bin exp_solver [--json]`
+//!
+//! `--trace-out PATH` / `--report-out PATH` record the runs through `sgs-obs`
+//! (chain builds, per-level sizes, the PCG residual trajectory) and write a Chrome
+//! trace / append a `RunReport` JSONL line carrying the chain-PCG `SolveStats`.
 
-use sgs_bench::{print_table, time_ms, Row, Workload};
+use sgs_bench::{print_table, report, time_ms, Cli, Row, Workload};
 use sgs_graph::generators;
 use sgs_linalg::csr::CsrMatrix;
 use sgs_linalg::eigen;
+use sgs_obs::RunReport;
 use sgs_solver::{SddSolver, SolverConfig, SolverMethod};
 
 fn main() {
+    let cli = Cli::parse();
+    let sink = cli.start_observability();
+    let mut last_solve = None;
     // --- Part 1: iterations vs condition number.
     let mut rows = Vec::new();
     for &n in &[200usize, 400, 800, 1600] {
@@ -28,6 +36,7 @@ fn main() {
         let cg = solver.solve_with(&b, SolverMethod::Cg);
         let jac = solver.solve_with(&b, SolverMethod::JacobiPcg);
         let (chain, chain_ms) = time_ms(|| solver.solve_with(&b, SolverMethod::ChainPcg));
+        last_solve = Some(chain.stats.clone());
         rows.push(
             Row::new(format!("path n = {n}"))
                 .push("kappa", kappa)
@@ -49,6 +58,7 @@ fn main() {
         let cg = solver.solve_with(&b, SolverMethod::Cg);
         let jac = solver.solve_with(&b, SolverMethod::JacobiPcg);
         let (chain, chain_ms) = time_ms(|| solver.solve_with(&b, SolverMethod::ChainPcg));
+        last_solve = Some(chain.stats.clone());
         rows.push(
             Row::new(format!("image {side}x{side}"))
                 .push("kappa", kappa)
@@ -63,6 +73,10 @@ fn main() {
         "E8a: solver iteration counts (Theorem 6) — chain-PCG vs CG / Jacobi-PCG as kappa grows",
         &rows,
     );
+    let mut run_report = RunReport::new("exp_solver", "solver suite");
+    for section in report::rows_sections(&rows) {
+        run_report.push(section);
+    }
 
     // --- Part 2: chain anatomy.
     let mut rows = Vec::new();
@@ -94,4 +108,12 @@ fn main() {
          sqrt(kappa); the chain is a constant number of times larger than the input for dense\n\
          graphs and (as Remark 3 concedes) relatively larger for very sparse ones."
     );
+
+    for section in report::rows_sections(&rows) {
+        run_report.push(section);
+    }
+    if let Some(solve) = &last_solve {
+        run_report.push(report::solve_stats_section(solve));
+    }
+    cli.finish_observability(sink, &run_report);
 }

@@ -24,8 +24,22 @@
 //! The vendored `serde_json` shim is serialize-only, so minification is textual: the
 //! input must already be valid JSON (which `exp_scaling` guarantees for its own
 //! output); this tool only strips inter-token whitespace, respecting string literals.
+//!
+//! # Report mode
+//!
+//! ```text
+//! cargo run --release -p sgs-bench --bin perf_history -- report \
+//!     [--history PERF_HISTORY.jsonl] [--metrics sparsify_ms,spanner_ms] [--max-regress 0.25]
+//! ```
+//!
+//! Parses the history back (via `sgs_obs::json`) and summarises the trend of each
+//! `(source, metric)` pair on the single-thread row: first / last / best value and how
+//! many commit-to-commit steps exceeded the regression budget (default 25%, matching
+//! the CI `bench_compare` gate). Metrics default to every `*_ms` wall-clock column.
 
 use std::process::ExitCode;
+
+use sgs_obs::json;
 
 /// Strips whitespace outside string literals, collapsing a pretty-printed JSON
 /// document to one line. Not a validator: it assumes well-formed input.
@@ -76,7 +90,167 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// One `(commit, source)` history line reduced to the single-thread row's metrics.
+struct HistoryEntry {
+    commit: String,
+    source: String,
+    metrics: Vec<(String, f64)>,
+}
+
+/// Pulls the `threads = 1` row (falling back to the first row) out of one parsed
+/// history line. Rows serialize as `{"label": ..., "values": [["name", v], ...]}`.
+fn entry_metrics(snapshot: &serde::Value) -> Vec<(String, f64)> {
+    let Some(rows) = json::get(snapshot, "rows").and_then(json::as_array) else {
+        return Vec::new();
+    };
+    let row = rows
+        .iter()
+        .find(|r| json::get(r, "label").and_then(json::as_str) == Some("threads = 1"))
+        .or_else(|| rows.first());
+    let Some(values) = row
+        .and_then(|r| json::get(r, "values"))
+        .and_then(json::as_array)
+    else {
+        return Vec::new();
+    };
+    values
+        .iter()
+        .filter_map(|pair| {
+            let pair = json::as_array(pair)?;
+            let name = json::as_str(pair.first()?)?;
+            let value = json::as_f64(pair.get(1)?)?;
+            Some((name.to_string(), value))
+        })
+        .collect()
+}
+
+fn report(args: &[String]) -> Result<(), String> {
+    let history_path =
+        flag_value(args, "--history").unwrap_or_else(|| "PERF_HISTORY.jsonl".to_string());
+    let budget = flag_value(args, "--max-regress")
+        .map(|v| v.parse::<f64>().map_err(|e| format!("--max-regress: {e}")))
+        .transpose()?
+        .unwrap_or(0.25);
+    let wanted: Option<Vec<String>> =
+        flag_value(args, "--metrics").map(|v| v.split(',').map(|m| m.trim().to_string()).collect());
+
+    let text = std::fs::read_to_string(&history_path)
+        .map_err(|e| format!("reading {history_path}: {e}"))?;
+    let mut entries = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("{history_path}:{}: {e}", idx + 1))?;
+        let commit = json::get(&v, "commit")
+            .and_then(json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let source = json::get(&v, "source")
+            .and_then(json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let snapshot = json::get(&v, "snapshot")
+            .ok_or_else(|| format!("{history_path}:{}: missing snapshot", idx + 1))?;
+        entries.push(HistoryEntry {
+            commit,
+            source,
+            metrics: entry_metrics(snapshot),
+        });
+    }
+    if entries.is_empty() {
+        println!("perf_history report: {history_path} is empty");
+        return Ok(());
+    }
+
+    // Group by source, preserving first-seen order.
+    let mut sources: Vec<String> = Vec::new();
+    for e in &entries {
+        if !sources.contains(&e.source) {
+            sources.push(e.source.clone());
+        }
+    }
+
+    println!(
+        "== perf history report: {history_path} ({} lines, budget {:.0}%) ==",
+        entries.len(),
+        budget * 100.0
+    );
+    println!(
+        "{:<20} {:<22} {:>4} {:>12} {:>12} {:>12} {:>12}",
+        "source", "metric", "runs", "first", "last", "best", "regressions"
+    );
+    let mut total_regressions = 0usize;
+    for source in &sources {
+        let series: Vec<&HistoryEntry> = entries.iter().filter(|e| &e.source == source).collect();
+        // Metric names from the first entry of this source, filtered to the
+        // requested list (default: wall-clock columns).
+        let names: Vec<String> = series[0]
+            .metrics
+            .iter()
+            .map(|(n, _)| n.clone())
+            .filter(|n| match &wanted {
+                Some(list) => list.contains(n),
+                None => n.ends_with("_ms"),
+            })
+            .collect();
+        for name in &names {
+            let values: Vec<(f64, &str)> = series
+                .iter()
+                .filter_map(|e| {
+                    e.metrics
+                        .iter()
+                        .find(|(n, _)| n == name)
+                        .map(|(_, v)| (*v, e.commit.as_str()))
+                })
+                .collect();
+            if values.is_empty() {
+                continue;
+            }
+            let first = values[0].0;
+            let last = values[values.len() - 1].0;
+            let best = values.iter().map(|(v, _)| *v).fold(f64::INFINITY, f64::min);
+            let regressions = values
+                .windows(2)
+                .filter(|w| w[1].0 > w[0].0 * (1.0 + budget))
+                .count();
+            total_regressions += regressions;
+            println!(
+                "{:<20} {:<22} {:>4} {:>12.3} {:>12.3} {:>12.3} {:>12}",
+                source,
+                name,
+                values.len(),
+                first,
+                last,
+                best,
+                regressions
+            );
+            for w in values.windows(2) {
+                if w[1].0 > w[0].0 * (1.0 + budget) {
+                    println!(
+                        "    regression: {} -> {}: {:.3} -> {:.3} (+{:.1}%)",
+                        w[0].1,
+                        w[1].1,
+                        w[0].0,
+                        w[1].0,
+                        (w[1].0 / w[0].0 - 1.0) * 100.0
+                    );
+                }
+            }
+        }
+    }
+    println!(
+        "{} step regression(s) exceeded the {:.0}% budget",
+        total_regressions,
+        budget * 100.0
+    );
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
+    if args.get(1).map(String::as_str) == Some("report") {
+        return report(args);
+    }
     let files: Vec<&String> = args
         .iter()
         .skip(1)
@@ -196,5 +370,49 @@ mod tests {
     fn missing_commit_is_an_error() {
         let err = run(&["perf_history".to_string(), "x.json".to_string()]).unwrap_err();
         assert!(err.contains("--commit"), "{err}");
+    }
+
+    #[test]
+    fn report_reads_the_single_thread_row() {
+        let snapshot = json::parse(
+            "{\"bench\": \"exp_scaling\", \"rows\": [\
+             {\"label\": \"threads = 1\", \"values\": [[\"sparsify_ms\", 120.5], [\"m_out\", 4000]]},\
+             {\"label\": \"threads = 2\", \"values\": [[\"sparsify_ms\", 70.1], [\"m_out\", 4000]]}]}",
+        )
+        .unwrap();
+        let metrics = entry_metrics(&snapshot);
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0], ("sparsify_ms".to_string(), 120.5));
+    }
+
+    #[test]
+    fn report_runs_over_an_appended_history() {
+        let dir = std::env::temp_dir();
+        let hist_path = dir.join("perf_history_report_test.jsonl");
+        // Two commits where sparsify_ms regresses by 50% — one step over a 25% budget.
+        let lines = [
+            "{\"commit\":\"aaa\",\"source\":\"BENCH_7.json\",\"snapshot\":{\"rows\":[{\"label\":\"threads = 1\",\"values\":[[\"sparsify_ms\",100]]}]}}",
+            "{\"commit\":\"bbb\",\"source\":\"BENCH_7.json\",\"snapshot\":{\"rows\":[{\"label\":\"threads = 1\",\"values\":[[\"sparsify_ms\",150]]}]}}",
+        ];
+        std::fs::write(&hist_path, lines.join("\n")).unwrap();
+        run(&[
+            "perf_history".to_string(),
+            "report".to_string(),
+            "--history".to_string(),
+            hist_path.to_string_lossy().into_owned(),
+        ])
+        .unwrap();
+        // An explicit metric list and budget parse too.
+        run(&[
+            "perf_history".to_string(),
+            "report".to_string(),
+            "--history".to_string(),
+            hist_path.to_string_lossy().into_owned(),
+            "--metrics".to_string(),
+            "sparsify_ms".to_string(),
+            "--max-regress".to_string(),
+            "0.6".to_string(),
+        ])
+        .unwrap();
     }
 }

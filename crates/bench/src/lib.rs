@@ -13,6 +13,9 @@
 use serde::Serialize;
 
 use sgs_graph::{generators, Graph};
+use sgs_obs::RunReport;
+
+pub mod report;
 
 /// The standard workload suite used across experiments.
 ///
@@ -157,9 +160,9 @@ pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
 }
 
 /// Parsed command line shared by every experiment binary, so that the common flags
-/// (`--seed`, `--threads`, `--json`, `--json-out PATH`, `--bench-json PATH`) carry the
-/// same spelling and semantics everywhere instead of each binary re-implementing its
-/// own `flag_value` helper.
+/// (`--seed`, `--threads`, `--json`, `--json-out PATH`, `--bench-json PATH`,
+/// `--trace-out PATH`, `--report-out PATH`) carry the same spelling and semantics
+/// everywhere instead of each binary re-implementing its own `flag_value` helper.
 #[derive(Debug, Clone)]
 pub struct Cli {
     args: Vec<String>,
@@ -233,6 +236,55 @@ impl Cli {
                     .collect()
             })
             .unwrap_or_else(|| default.to_vec())
+    }
+
+    /// The `--trace-out PATH` flag: where to write the Chrome `trace_event` JSON.
+    pub fn trace_out(&self) -> Option<String> {
+        self.value("--trace-out")
+    }
+
+    /// The `--report-out PATH` flag: where to append the run's [`RunReport`] JSONL line.
+    pub fn report_out(&self) -> Option<String> {
+        self.value("--report-out")
+    }
+
+    /// Installs a global recording sink when `--trace-out` or `--report-out` is
+    /// present, returning it for [`Cli::finish_observability`]. With neither flag the
+    /// run stays untraced: [`sgs_obs::enabled`] remains false and every emission site
+    /// is a single untaken branch.
+    pub fn start_observability(&self) -> Option<&'static sgs_obs::RecordingSink> {
+        if self.trace_out().is_some() || self.report_out().is_some() {
+            Some(sgs_obs::install_recording())
+        } else {
+            None
+        }
+    }
+
+    /// Uninstalls the sink and writes whatever the command line asked for: the Chrome
+    /// trace to `--trace-out` and one appended `report` JSONL line to `--report-out`.
+    pub fn finish_observability(
+        &self,
+        sink: Option<&'static sgs_obs::RecordingSink>,
+        report: &RunReport,
+    ) {
+        let Some(sink) = sink else { return };
+        sgs_obs::clear();
+        let events = sink.take();
+        if let Some(path) = self.trace_out() {
+            std::fs::write(&path, sgs_obs::export_chrome_trace(&events))
+                .expect("writing --trace-out file");
+            println!("chrome trace written to {path} ({} events)", events.len());
+        }
+        if let Some(path) = self.report_out() {
+            use std::io::Write;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .expect("opening --report-out file");
+            writeln!(file, "{}", report.to_jsonl_line()).expect("writing --report-out file");
+            println!("run report appended to {path}");
+        }
     }
 
     /// Writes `rows` to the `--json-out` path when the flag is present.

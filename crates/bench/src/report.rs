@@ -1,0 +1,189 @@
+//! Ledger → [`RunReport`] converters.
+//!
+//! Every engine keeps its own typed ledger (`WorkStats`, `StreamStats`,
+//! `NetworkMetrics`, `ErPassStats`, `SolveStats`). The bench bins flatten them
+//! all into the neutral [`Section`] schema here, so one `--report-out` JSONL
+//! line carries the full cross-subsystem record of a run.
+
+use sgs_core::WorkStats;
+use sgs_distributed::NetworkMetrics;
+use sgs_obs::Section;
+use sgs_solver::SolveStats;
+use sgs_stream::{ErPassStats, StreamStats};
+
+use crate::Row;
+
+/// One section per table row: the row label becomes the section name and the
+/// named columns become scalar fields. This is the generic absorber for rows
+/// that have no richer typed ledger behind them.
+pub fn rows_sections(rows: &[Row]) -> Vec<Section> {
+    rows.iter()
+        .map(|row| {
+            let mut s = Section::new(&row.label);
+            for (name, value) in &row.values {
+                s = s.field(name, *value);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Flattens a sparsification [`WorkStats`] ledger.
+pub fn work_stats_section(stats: &WorkStats) -> Section {
+    Section::new("work")
+        .field("spanner_work", stats.spanner_work as f64)
+        .field("sampling_work", stats.sampling_work as f64)
+        .field("total_work", stats.total_work() as f64)
+        .field("rounds", stats.rounds as f64)
+        .series(
+            "edges_per_round",
+            stats.edges_per_round.iter().map(|&v| v as f64).collect(),
+        )
+        .series(
+            "bundle_t_per_round",
+            stats.bundle_t_per_round.iter().map(|&v| v as f64).collect(),
+        )
+        .series(
+            "bundle_edges_per_round",
+            stats
+                .bundle_edges_per_round
+                .iter()
+                .map(|&v| v as f64)
+                .collect(),
+        )
+}
+
+/// Flattens a streaming [`StreamStats`] ledger, including the per-depth level
+/// trajectories, the spill ledger, and the optional ER-pass entry.
+pub fn stream_stats_section(stats: &StreamStats) -> Section {
+    let mut s = Section::new("stream")
+        .field("edges_ingested", stats.edges_ingested as f64)
+        .field("batches_ingested", stats.batches_ingested as f64)
+        .field("leaves", stats.leaves as f64)
+        .field("forced_reductions", stats.forced_reductions as f64)
+        .field("peak_resident_edges", stats.peak_resident_edges as f64)
+        .field("peak_resident_bytes", stats.peak_resident_bytes as f64)
+        .field("final_depth", stats.final_depth as f64)
+        .field("spilled_nodes", stats.spill.spilled_nodes as f64)
+        .field("spilled_bytes", stats.spill.spilled_bytes as f64)
+        .field("readback_nodes", stats.spill.readback_nodes as f64)
+        .field("readback_bytes", stats.spill.readback_bytes as f64)
+        .series(
+            "level_epsilon",
+            stats.levels.iter().map(|l| l.epsilon).collect(),
+        )
+        .series(
+            "level_reductions",
+            stats.levels.iter().map(|l| l.reductions as f64).collect(),
+        )
+        .series(
+            "level_edges_in",
+            stats.levels.iter().map(|l| l.edges_in as f64).collect(),
+        )
+        .series(
+            "level_edges_out",
+            stats.levels.iter().map(|l| l.edges_out as f64).collect(),
+        );
+    if let Some(er) = &stats.er_pass {
+        s = s
+            .field("er_m_in", er.m_in as f64)
+            .field("er_m_out", er.m_out as f64)
+            .field("er_resampled", if er.resampled { 1.0 } else { 0.0 });
+    }
+    s
+}
+
+/// Flattens the ER-weighted final-pass ledger on its own (for experiments that
+/// run the pass outside a stream).
+pub fn er_pass_section(stats: &ErPassStats) -> Section {
+    Section::new("er_pass")
+        .field("epsilon", stats.epsilon)
+        .field("m_in", stats.m_in as f64)
+        .field("m_out", stats.m_out as f64)
+        .field("solves", stats.solves as f64)
+        .field("resampled", if stats.resampled { 1.0 } else { 0.0 })
+}
+
+/// Flattens a CONGEST [`NetworkMetrics`] ledger.
+pub fn network_metrics_section(metrics: &NetworkMetrics) -> Section {
+    Section::new("congest")
+        .field("rounds", metrics.rounds as f64)
+        .field("messages", metrics.messages as f64)
+        .field("total_bits", metrics.total_bits as f64)
+        .field("max_message_bits", metrics.max_message_bits as f64)
+        .field("dropped", metrics.dropped as f64)
+        .field("duplicated", metrics.duplicated as f64)
+        .field("delayed", metrics.delayed as f64)
+        .field("retransmits", metrics.retransmits as f64)
+        .field("acks", metrics.acks as f64)
+        .field("dup_suppressed", metrics.dup_suppressed as f64)
+        .field("abandoned", metrics.abandoned as f64)
+}
+
+/// Flattens a solver [`SolveStats`] ledger, keeping the per-level work vector
+/// as a series.
+pub fn solve_stats_section(stats: &SolveStats) -> Section {
+    Section::new("solver")
+        .field("iterations", stats.iterations as f64)
+        .field("relative_residual", stats.relative_residual)
+        .field(
+            "preconditioner_applies",
+            stats.preconditioner_applies as f64,
+        )
+        .series(
+            "per_level_work",
+            stats.per_level_work.iter().map(|&v| v as f64).collect(),
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_flatten_one_section_per_row() {
+        let rows = vec![
+            Row::new("t=1").push("sparsify_ms", 10.0),
+            Row::new("t=2").push("sparsify_ms", 6.0),
+        ];
+        let sections = rows_sections(&rows);
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].name, "t=1");
+        assert_eq!(sections[1].fields, vec![("sparsify_ms".to_string(), 6.0)]);
+    }
+
+    #[test]
+    fn ledgers_flatten_without_losing_series() {
+        let work = WorkStats {
+            spanner_work: 10,
+            sampling_work: 5,
+            rounds: 2,
+            edges_per_round: vec![100, 40],
+            bundle_t_per_round: vec![3, 3],
+            bundle_edges_per_round: vec![60, 20],
+        };
+        let s = work_stats_section(&work);
+        assert_eq!(s.name, "work");
+        assert!(s
+            .fields
+            .iter()
+            .any(|(k, v)| k == "total_work" && *v == 15.0));
+        assert_eq!(s.series[0].1, vec![100.0, 40.0]);
+
+        let solve = SolveStats {
+            iterations: 7,
+            relative_residual: 1e-9,
+            preconditioner_applies: 8,
+            per_level_work: vec![800, 200],
+        };
+        let s = solve_stats_section(&solve);
+        assert!(s.fields.iter().any(|(k, v)| k == "iterations" && *v == 7.0));
+        assert_eq!(s.series[0].1, vec![800.0, 200.0]);
+
+        let s = network_metrics_section(&NetworkMetrics::default());
+        assert_eq!(s.fields.len(), 11);
+
+        let s = stream_stats_section(&StreamStats::default());
+        assert!(s.fields.iter().all(|(k, _)| !k.starts_with("er_")));
+    }
+}

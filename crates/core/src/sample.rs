@@ -178,6 +178,14 @@ pub(crate) fn sample_on_engine(
     // Every bundle edge is kept unconditionally, so the split needs no re-scan.
     let bundle_edges = bundle.bundle_size;
     let sampled_edges = kept.len() - bundle_edges;
+    sgs_obs::point!(
+        "sample.pass",
+        m = m,
+        t = t,
+        bundle_edges = bundle_edges,
+        sampled_edges = sampled_edges,
+        weighted = weighted,
+    );
     let sparsifier = Graph::from_edges_unchecked(n, kept);
     let phases = PipelinePhases {
         spanner: bundle.phases,

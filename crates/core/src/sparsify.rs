@@ -90,6 +90,12 @@ pub(crate) fn sparsify_on_engine(
         let out = sample_on_engine(cur, &round_cfg, engine);
         stats.absorb_round(&out.stats);
         phases.absorb(&out.phases);
+        sgs_obs::point!(
+            "sparsify.round",
+            round = round,
+            m_in = out.stats.edges_per_round.first().copied().unwrap_or(0),
+            m_out = out.sparsifier.m(),
+        );
         current = Some(out.sparsifier);
         rounds_executed += 1;
     }

@@ -282,6 +282,9 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
     /// by `(recipient, sender)`. Metrics are counted here — at delivery, not at send —
     /// so only traffic that actually reaches a vertex is billed.
     pub fn advance_round(&mut self) {
+        // Snapshot the ledger so the per-round trace event can carry deltas
+        // (messages/bits/fault columns for *this* round, not running totals).
+        let before = sgs_obs::enabled().then(|| self.metrics.clone());
         self.metrics.rounds += 1;
         if self.faults.is_some() {
             // Fault path: run every staged (and newly-due delayed) message through the
@@ -317,6 +320,21 @@ impl<M: MessageSize + Clone> SyncNetwork<M> {
             self.deliver(&staged);
             self.staged = staged;
             self.staged.clear();
+        }
+        if let Some(before) = before {
+            sgs_obs::point!(
+                "congest.round",
+                round = self.metrics.rounds,
+                messages = self.metrics.messages - before.messages,
+                bits = self.metrics.total_bits - before.total_bits,
+                dropped = self.metrics.dropped - before.dropped,
+                duplicated = self.metrics.duplicated - before.duplicated,
+                delayed = self.metrics.delayed - before.delayed,
+                retransmits = self.metrics.retransmits - before.retransmits,
+                acks = self.metrics.acks - before.acks,
+                dup_suppressed = self.metrics.dup_suppressed - before.dup_suppressed,
+                abandoned = self.metrics.abandoned - before.abandoned,
+            );
         }
     }
 

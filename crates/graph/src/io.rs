@@ -572,7 +572,9 @@ impl<R: Read> BinEdgeReader<R> {
 pub fn write_bin_file<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
     let mut w = BinEdgeWriter::create(path, g.n(), g.m())?;
     w.write_batch(g.edges())?;
-    w.finish()
+    w.finish()?;
+    sgs_obs::point!("io.write_bin", n = g.n(), m = g.m());
+    Ok(())
 }
 
 /// Reads a graph from a file in the binary format, with the same clamped-prealloc
@@ -593,6 +595,7 @@ pub fn read_bin_file<P: AsRef<Path>>(path: P) -> Result<Graph> {
             g.push_edge_unchecked(e.u, e.v, e.w);
         }
     }
+    sgs_obs::point!("io.read_bin", n = g.n(), m = g.m());
     Ok(g)
 }
 

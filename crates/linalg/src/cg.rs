@@ -309,6 +309,17 @@ pub fn pcg_solve_in<A: LinearOperator + ?Sized, M: Preconditioner + ?Sized>(
             vector::project_out_ones(r);
         }
         let r_norm = vector::norm2(r);
+        // Per-iteration residual trajectory, emitted only inside a trace scope:
+        // the JL resistance estimator runs many of these solves under `par_iter`,
+        // and only sequential top-level callers (the SDD solver) opt in, which
+        // keeps the event stream a pure function of the input.
+        if sgs_obs::in_scope() {
+            sgs_obs::point!(
+                "pcg.iter",
+                iter = iterations,
+                rel_residual = r_norm / b_norm,
+            );
+        }
         if r_norm / b_norm <= cfg.tolerance {
             break;
         }

@@ -1,0 +1,131 @@
+//! Event exporters: JSONL log and Chrome `trace_event` JSON.
+
+use serde::Value;
+
+use crate::{Event, EventKind, FieldValue};
+
+fn field_value(v: &FieldValue) -> Value {
+    match *v {
+        FieldValue::U64(x) => Value::UInt(x),
+        FieldValue::I64(x) => Value::Int(x),
+        FieldValue::F64(x) => Value::Float(x),
+        FieldValue::Bool(x) => Value::Bool(x),
+        FieldValue::Str(s) => Value::Str(s.to_string()),
+    }
+}
+
+fn fields_object(ev: &Event) -> Value {
+    Value::Object(
+        ev.fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), field_value(v)))
+            .collect(),
+    )
+}
+
+/// Renders events as one JSON object per line:
+/// `{"name": ..., "kind": ..., "ts_us": ..., "tid": ..., "fields": {...}}`.
+pub fn export_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        let obj = Value::Object(vec![
+            ("name".to_string(), Value::Str(ev.name.to_string())),
+            ("kind".to_string(), Value::Str(ev.kind.label().to_string())),
+            ("ts_us".to_string(), Value::UInt(ev.ts_us)),
+            ("tid".to_string(), Value::UInt(ev.tid)),
+            ("fields".to_string(), fields_object(ev)),
+        ]);
+        out.push_str(&serde_json::to_string(&obj).unwrap_or_default());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders events in the Chrome `trace_event` format (the object form with a
+/// `traceEvents` array), loadable in `chrome://tracing` and Perfetto. Spans map
+/// to `B`/`E` phase pairs on per-thread tracks, points to instant (`i`) events
+/// with thread scope, and counters to `C` events.
+pub fn export_chrome_trace(events: &[Event]) -> String {
+    let mut items = Vec::with_capacity(events.len());
+    for ev in events {
+        let ph = match ev.kind {
+            EventKind::SpanBegin => "B",
+            EventKind::SpanEnd => "E",
+            EventKind::Point => "i",
+            EventKind::Counter => "C",
+        };
+        let mut obj = vec![
+            ("name".to_string(), Value::Str(ev.name.to_string())),
+            ("ph".to_string(), Value::Str(ph.to_string())),
+            ("ts".to_string(), Value::UInt(ev.ts_us)),
+            ("pid".to_string(), Value::UInt(1)),
+            ("tid".to_string(), Value::UInt(ev.tid)),
+        ];
+        if ev.kind == EventKind::Point {
+            obj.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+        if !ev.fields.is_empty() {
+            obj.push(("args".to_string(), fields_object(ev)));
+        }
+        items.push(Value::Object(obj));
+    }
+    let root = Value::Object(vec![
+        ("traceEvents".to_string(), Value::Array(items)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ]);
+    serde_json::to_string(&root).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                name: "spanner.decide",
+                kind: EventKind::SpanBegin,
+                fields: vec![("round", FieldValue::U64(1))],
+                ts_us: 10,
+                tid: 1,
+            },
+            Event {
+                name: "spanner.decide",
+                kind: EventKind::SpanEnd,
+                fields: vec![],
+                ts_us: 25,
+                tid: 1,
+            },
+            Event {
+                name: "sample.pass",
+                kind: EventKind::Point,
+                fields: vec![
+                    ("kept", FieldValue::U64(42)),
+                    ("weighted", FieldValue::Bool(true)),
+                ],
+                ts_us: 30,
+                tid: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let text = export_jsonl(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"name\": \"spanner.decide\""));
+        assert!(lines[0].contains("\"kind\": \"begin\""));
+        assert!(lines[2].contains("\"kept\": 42"));
+    }
+
+    #[test]
+    fn chrome_trace_has_paired_phases() {
+        let text = export_chrome_trace(&sample());
+        assert!(text.starts_with("{\"traceEvents\": ["));
+        assert!(text.contains("\"ph\": \"B\""));
+        assert!(text.contains("\"ph\": \"E\""));
+        assert!(text.contains("\"ph\": \"i\""));
+        assert!(text.contains("\"args\": {\"kept\": 42, \"weighted\": true}"));
+    }
+}

@@ -1,0 +1,385 @@
+//! Minimal JSON parser into the vendored `serde::Value` model.
+//!
+//! The vendored serde/serde_json shims are serialize-only; nothing in the
+//! workspace could read JSON back until now. This parser accepts standard JSON
+//! (it is a superset of what the shim renderer emits) and produces the same
+//! `Value` tree the renderer consumes, so `render(parse(render(x))) ==
+//! render(x)` holds for every serializable `x` — the round-trip the
+//! observability tests pin. Numbers without `.`/exponent parse as
+//! `UInt`/`Int`; everything else parses as `Float`, matching how the renderer
+//! prints whole floats without a decimal point.
+
+use serde::Value;
+
+/// Parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document, rejecting trailing non-whitespace.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{text}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            entries.push((key, v));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Object(entries)),
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Array(items)),
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = match d {
+                b'0'..=b'9' => (d - b'0') as u32,
+                b'a'..=b'f' => (d - b'a') as u32 + 10,
+                b'A'..=b'F' => (d - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid hex digit in \\u escape")),
+            };
+            v = v * 16 + digit;
+        }
+        Ok(v)
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let cp = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: expect \uXXXX low half.
+                            if self.bump() == Some(b'\\') && self.bump() == Some(b'u') {
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                return Err(self.err("lone high surrogate"));
+                            }
+                        } else if (0xDC00..0xE000).contains(&hi) {
+                            return Err(self.err("lone low surrogate"));
+                        } else {
+                            hi
+                        };
+                        out.push(
+                            char::from_u32(cp).ok_or_else(|| self.err("invalid \\u code point"))?,
+                        );
+                    }
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences byte-wise: the input
+                    // came from a &str so the bytes are valid UTF-8.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    for _ in 1..len {
+                        self.bump().ok_or_else(|| self.err("truncated utf-8"))?;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    out.push_str(s);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if text.is_empty() || text == "-" {
+            return Err(self.err("expected digits"));
+        }
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(v) = stripped.parse::<u64>() {
+                    if v <= i64::MAX as u64 + 1 {
+                        return Ok(Value::Int(
+                            text.parse::<i64>()
+                                .map_err(|_| self.err("integer out of range"))?,
+                        ));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    if first < 0x80 {
+        1
+    } else if first < 0xE0 {
+        2
+    } else if first < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Looks up a key in an object `Value`; `None` for non-objects or missing keys.
+pub fn get<'v>(v: &'v Value, key: &str) -> Option<&'v Value> {
+    match v {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+/// Extracts an f64 from any numeric `Value` variant.
+pub fn as_f64(v: &Value) -> Option<f64> {
+    match *v {
+        Value::Int(x) => Some(x as f64),
+        Value::UInt(x) => Some(x as f64),
+        Value::Float(x) => Some(x),
+        _ => None,
+    }
+}
+
+/// Extracts a string slice from a `Str` value.
+pub fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+/// Extracts the element list of an `Array` value.
+pub fn as_array(v: &Value) -> Option<&[Value]> {
+    match v {
+        Value::Array(items) => Some(items.as_slice()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" 42 ").unwrap(), Value::UInt(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn parses_nested_containers() {
+        let v = parse("{\"a\": [1, {\"b\": false}], \"c\": \"x\"}").unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                (
+                    "a".into(),
+                    Value::Array(vec![
+                        Value::UInt(1),
+                        Value::Object(vec![("b".into(), Value::Bool(false))]),
+                    ])
+                ),
+                ("c".into(), Value::Str("x".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("\"\\q\"").is_err());
+    }
+
+    #[test]
+    fn round_trips_shim_rendering() {
+        // Whole floats render without a decimal point and re-parse as UInt; the
+        // *textual* round trip is what must be stable.
+        let original = Value::Object(vec![
+            ("n".into(), Value::UInt(300)),
+            ("ratio".into(), Value::Float(0.25)),
+            ("whole".into(), Value::Float(2.0)),
+            ("tags".into(), Value::Array(vec![Value::Str("a\"b".into())])),
+        ]);
+        let text = serde_json::to_string(&original).unwrap();
+        let reparsed = parse(&text).unwrap();
+        let retext = serde_json::to_string(&reparsed).unwrap();
+        assert_eq!(text, retext);
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(parse("\"\\u0041\"").unwrap(), Value::Str("A".into()));
+        assert_eq!(
+            parse("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("\u{1F600}".into())
+        );
+        assert_eq!(parse("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+    }
+}

@@ -1,0 +1,146 @@
+//! `RunReport`: one serializable end-to-end record of a run.
+//!
+//! The engines already keep per-subsystem ledgers (`WorkStats`, `StreamStats`,
+//! `NetworkMetrics`, `ErPassStats`, solver stats); the report is the neutral
+//! schema they all flatten into — named scalar fields plus named numeric series
+//! per section — so the bench bins can emit one JSONL line per run instead of
+//! each inventing its own printing.
+
+use serde::{Serialize, Value};
+
+/// One named group of metrics (e.g. `"spanner"`, `"congest"`, `"solver"`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Section {
+    /// Section name.
+    pub name: String,
+    /// Scalar metrics, in insertion order.
+    pub fields: Vec<(String, f64)>,
+    /// Per-round / per-level / per-iteration trajectories.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl Section {
+    /// Creates an empty section.
+    pub fn new(name: &str) -> Section {
+        Section {
+            name: name.to_string(),
+            ..Section::default()
+        }
+    }
+
+    /// Adds a scalar field (builder style).
+    pub fn field(mut self, key: &str, value: f64) -> Section {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Adds a numeric series (builder style).
+    pub fn series(mut self, key: &str, values: Vec<f64>) -> Section {
+        self.series.push((key.to_string(), values));
+        self
+    }
+}
+
+/// A full-run report: identity plus a list of [`Section`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Bench / experiment name (e.g. `"exp_scaling"`).
+    pub bench: String,
+    /// Workload label (e.g. `"er(4000,150)"`).
+    pub workload: String,
+    /// Metric sections.
+    pub sections: Vec<Section>,
+}
+
+impl RunReport {
+    /// Creates an empty report for a bench + workload.
+    pub fn new(bench: &str, workload: &str) -> RunReport {
+        RunReport {
+            bench: bench.to_string(),
+            workload: workload.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a section.
+    pub fn push(&mut self, section: Section) {
+        self.sections.push(section);
+    }
+
+    /// Renders the report as a single compact JSON line (JSONL-appendable).
+    pub fn to_jsonl_line(&self) -> String {
+        serde_json::to_string(&self.to_value()).unwrap_or_default()
+    }
+}
+
+impl Serialize for Section {
+    fn to_value(&self) -> Value {
+        let fields = Value::Object(
+            self.fields
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Float(*v)))
+                .collect(),
+        );
+        let series = Value::Object(
+            self.series
+                .iter()
+                .map(|(k, vs)| {
+                    (
+                        k.clone(),
+                        Value::Array(vs.iter().map(|v| Value::Float(*v)).collect()),
+                    )
+                })
+                .collect(),
+        );
+        Value::Object(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("fields".to_string(), fields),
+            ("series".to_string(), series),
+        ])
+    }
+}
+
+impl Serialize for RunReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("bench".to_string(), Value::Str(self.bench.clone())),
+            ("workload".to_string(), Value::Str(self.workload.clone())),
+            (
+                "sections".to_string(),
+                Value::Array(self.sections.iter().map(Serialize::to_value).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn report_round_trips_through_the_parser() {
+        let mut r = RunReport::new("exp_demo", "er(300,0.15)");
+        r.push(
+            Section::new("solver")
+                .field("iterations", 12.0)
+                .field("residual", 3.5e-9)
+                .series("residuals", vec![1.0, 0.5, 0.25]),
+        );
+        let line = r.to_jsonl_line();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(
+            json::as_str(json::get(&v, "bench").unwrap()),
+            Some("exp_demo")
+        );
+        let sections = json::as_array(json::get(&v, "sections").unwrap()).unwrap();
+        assert_eq!(sections.len(), 1);
+        let fields = json::get(&sections[0], "fields").unwrap();
+        assert_eq!(
+            json::as_f64(json::get(fields, "iterations").unwrap()),
+            Some(12.0)
+        );
+        // Textual round trip through the parser is exact.
+        assert_eq!(serde_json::to_string(&v).unwrap(), line);
+    }
+}

@@ -16,6 +16,7 @@
 //! framework. The recursion stops when the level is strongly diagonally dominant, where
 //! a handful of Jacobi sweeps is an adequate (and linear, hence PCG-safe) base solver.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use rand::prelude::*;
@@ -150,6 +151,7 @@ pub struct Chain {
 impl Chain {
     /// Builds the chain for a grounded Laplacian.
     pub fn build(system: &GroundedLaplacian, config: &ChainConfig) -> Self {
+        let build_span = sgs_obs::span!("chain.build", n = system.n());
         let mut levels = Vec::new();
         let mut current = ChainLevel::new(system.graph().clone(), system.excess().to_vec());
         let n = system.n();
@@ -166,6 +168,15 @@ impl Chain {
             levels.push(current);
             current = next;
         }
+        for (idx, level) in levels.iter().enumerate() {
+            sgs_obs::point!(
+                "chain.level",
+                level = idx,
+                n = level.graph.n(),
+                m = level.graph.m(),
+            );
+        }
+        drop(build_span);
         Chain {
             levels,
             config: config.clone(),
@@ -246,6 +257,7 @@ impl Chain {
         ChainPreconditioner {
             chain: self,
             scratch: Mutex::new(ChainScratch::default()),
+            applies: AtomicU64::new(0),
         }
     }
 
@@ -342,10 +354,20 @@ impl ChainScratch {
 pub struct ChainPreconditioner<'a> {
     chain: &'a Chain,
     scratch: Mutex<ChainScratch>,
+    applies: AtomicU64,
+}
+
+impl ChainPreconditioner<'_> {
+    /// Number of chain applications performed through this view so far (one per
+    /// PCG preconditioner application).
+    pub fn applies(&self) -> u64 {
+        self.applies.load(Ordering::Relaxed)
+    }
 }
 
 impl Preconditioner for ChainPreconditioner<'_> {
     fn apply(&self, r: &[f64], z: &mut [f64]) {
+        self.applies.fetch_add(1, Ordering::Relaxed);
         let mut scratch = self.scratch.lock().expect("chain scratch lock poisoned");
         self.chain.apply_inverse_in(r, z, &mut scratch);
     }

@@ -35,4 +35,4 @@ pub mod solve;
 
 pub use chain::{Chain, ChainConfig, ChainLevel, ChainPreconditioner, ChainScratch, StreamChain};
 pub use sdd::GroundedLaplacian;
-pub use solve::{SddSolver, SolveOutcome, SolverConfig, SolverMethod};
+pub use solve::{SddSolver, SolveOutcome, SolveStats, SolverConfig, SolverMethod};

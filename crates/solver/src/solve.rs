@@ -63,6 +63,25 @@ pub struct SolveOutcome {
     pub chain_depth: usize,
     /// Total edges stored in the chain (0 for the reference methods).
     pub chain_edges: usize,
+    /// Solve counters (iterations, preconditioner applies, per-level work).
+    pub stats: SolveStats,
+}
+
+/// Counters for one solve, suitable for absorption into an observability
+/// `RunReport`. All values are deterministic for a fixed system and seed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveStats {
+    /// Outer PCG/CG iterations.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub relative_residual: f64,
+    /// Preconditioner applications ([`SolverMethod::ChainPcg`] only; 0 for the
+    /// reference methods, which either have no preconditioner or a diagonal one
+    /// whose work is already counted by the iteration total).
+    pub preconditioner_applies: u64,
+    /// Per chain level: edges of that level × preconditioner applies — the
+    /// chain-work decomposition of the solve (empty for reference methods).
+    pub per_level_work: Vec<u64>,
 }
 
 /// A solver for SDD systems `M x = b` where `M = L(G) + diag(excess)`.
@@ -149,25 +168,60 @@ impl SddSolver {
             // The grounded operator is PD; no null-space projection is needed.
             project_ones: false,
         };
-        let (outcome, chain_depth, chain_edges) = match method {
+        // The solver is the sequential top-level PCG caller, so it opts into the
+        // per-iteration residual trace; parallel inner solves (JL resistance
+        // estimation) never enter a scope and stay silent.
+        let solve_span = sgs_obs::span!("solver.solve", n = self.system.n());
+        let scope = sgs_obs::trace_scope();
+        let (outcome, chain_depth, chain_edges, applies, per_level_work) = match method {
             SolverMethod::ChainPcg => {
                 let chain = self.chain.as_ref().expect("chain built at construction");
                 // The re-entrant preconditioner reuses one scratch across all PCG
                 // iterations (bit-identical to applying the chain directly).
                 let pre = chain.preconditioner();
+                let outcome = pcg_solve(&self.system, &pre, b, &cg_cfg);
+                let applies = pre.applies();
+                let per_level_work: Vec<u64> = chain
+                    .levels()
+                    .iter()
+                    .map(|l| l.graph.m() as u64 * applies)
+                    .collect();
                 (
-                    pcg_solve(&self.system, &pre, b, &cg_cfg),
+                    outcome,
                     chain.depth(),
                     chain.total_edges(),
+                    applies,
+                    per_level_work,
                 )
             }
             SolverMethod::JacobiPcg => {
                 let pre = JacobiPreconditioner::from_diagonal(&self.system.diagonal());
-                (pcg_solve(&self.system, &pre, b, &cg_cfg), 0, 0)
+                (
+                    pcg_solve(&self.system, &pre, b, &cg_cfg),
+                    0,
+                    0,
+                    0,
+                    Vec::new(),
+                )
             }
-            SolverMethod::Cg => (cg_solve(&self.system, b, &cg_cfg), 0, 0),
+            SolverMethod::Cg => (cg_solve(&self.system, b, &cg_cfg), 0, 0, 0, Vec::new()),
         };
+        drop(scope);
+        drop(solve_span);
+        sgs_obs::point!(
+            "solver.done",
+            iterations = outcome.iterations,
+            rel_residual = outcome.relative_residual,
+            converged = outcome.converged,
+            applies = applies,
+        );
         SolveOutcome {
+            stats: SolveStats {
+                iterations: outcome.iterations,
+                relative_residual: outcome.relative_residual,
+                preconditioner_applies: applies,
+                per_level_work,
+            },
             solution: outcome.solution,
             iterations: outcome.iterations,
             relative_residual: outcome.relative_residual,

@@ -680,6 +680,7 @@ fn run_spanner(
 
         let (center, alive, sampled) = (&state.center, &state.alive, &state.sampled);
         let t_decide = Instant::now();
+        let decide_span = sgs_obs::span!("spanner.decide", round = rounds);
         let batches: Vec<RoundBatch> = if cfg.parallel {
             (0..n_blocks)
                 .into_par_iter()
@@ -706,12 +707,14 @@ fn run_spanner(
                 })
                 .collect()
         };
+        drop(decide_span);
         phases.decide_ms += ms_since(t_decide);
 
         // Commit the decisions. The commit is order-invariant (see `apply_batch`), so
         // the parallel path runs every batch concurrently through shared atomic views
         // and still lands bit-identical to the sequential block-order walk.
         let t_apply = Instant::now();
+        let apply_span = sgs_obs::span!("spanner.apply", round = rounds);
         state.center_next.copy_from_slice(&state.center);
         {
             let alive = AtomicFlags::new(&mut state.alive);
@@ -730,6 +733,7 @@ fn run_spanner(
         for batch in &batches {
             total_work += batch.work;
         }
+        drop(apply_span);
         phases.apply_ms += ms_since(t_apply);
         std::mem::swap(&mut state.center, &mut state.center_next);
 
@@ -737,6 +741,7 @@ fn run_spanner(
         // commute, so this sweep runs in parallel; the u64 work tally is combined in
         // chunk order and stays deterministic.
         let t_sweep = Instant::now();
+        let sweep_span = sgs_obs::span!("spanner.sweep", round = rounds);
         let center = &state.center;
         let sweep = |(a, &(_, u, v, _)): (&mut bool, &EdgeView)| -> u64 {
             if *a {
@@ -759,12 +764,15 @@ fn run_spanner(
         } else {
             state.alive.iter_mut().zip(view.iter()).map(sweep).sum()
         };
+        drop(sweep_span);
         phases.sweep_ms += ms_since(t_sweep);
+        sgs_obs::point!("spanner.round", round = rounds, work = total_work);
     }
 
     // Phase 2: vertex–cluster joining on the final clustering.
     rounds += 1;
     let t_join = Instant::now();
+    let join_span = sgs_obs::span!("spanner.join", round = rounds);
     let (center, alive) = (&state.center, &state.alive);
     let join_batches: Vec<RoundBatch> = if cfg.parallel {
         (0..n_blocks)
@@ -797,6 +805,7 @@ fn run_spanner(
     for batch in &join_batches {
         total_work += batch.work;
     }
+    drop(join_span);
     phases.join_ms += ms_since(t_join);
 
     let mut edge_ids: Vec<EdgeId> = view
@@ -812,6 +821,12 @@ fn run_spanner(
         .collect();
     edge_ids.sort_unstable();
     edge_ids.dedup();
+    sgs_obs::point!(
+        "spanner.run",
+        rounds = rounds,
+        work = total_work,
+        edges = edge_ids.len(),
+    );
     SpannerResult {
         edge_ids,
         rounds,

@@ -291,10 +291,17 @@ impl StreamSparsifier {
         let census = leaf.m() + self.resident_nodes + out.m();
         self.note_peak(census);
         self.note_peak_bytes(leaf.m() + self.store.resident_edges() + out.m());
+        let (leaf_edges, reduced_edges) = (leaf.m(), out.m());
         // Recycle the buffer allocation out of the leaf graph.
         self.buffer = leaf.into_edges();
         self.buffer.clear();
         self.stats.leaves += 1;
+        sgs_obs::point!(
+            "stream.leaf",
+            leaf = self.stats.leaves,
+            m_in = leaf_edges,
+            m_out = reduced_edges,
+        );
         self.push_node(0, out)?;
         self.cascade()?;
         self.enforce_budget()
@@ -313,6 +320,13 @@ impl StreamSparsifier {
         level.edges_out += out.sparsifier.m() as u64;
         level.spanner_work += out.stats.spanner_work;
         level.sampling_work += out.stats.sampling_work;
+        sgs_obs::point!(
+            "stream.reduce",
+            depth = j,
+            index = index,
+            m_in = g.m(),
+            m_out = out.sparsifier.m(),
+        );
         out.sparsifier
     }
 
@@ -522,6 +536,13 @@ impl StreamSparsifier {
                 solves: out.solves as u64,
                 resampled: out.resampled,
             });
+            sgs_obs::point!(
+                "stream.er_pass",
+                m_in = out.m_in,
+                m_out = out.m_out,
+                solves = out.solves,
+                resampled = out.resampled,
+            );
             sparsifier = out.sparsifier;
         }
 

@@ -248,6 +248,7 @@ impl SpillStore {
             self.ledger.spilled_nodes += 1;
             self.ledger.spilled_edges += m as u64;
             self.ledger.spilled_bytes += bytes;
+            sgs_obs::point!("stream.spill", node = id, edges = m, bytes = bytes);
         }
         Ok(())
     }
@@ -293,6 +294,7 @@ impl EdgeStore for SpillStore {
                 self.ledger.readback_nodes += 1;
                 self.ledger.readback_edges += slot.m as u64;
                 self.ledger.readback_bytes += bytes;
+                sgs_obs::point!("stream.readback", node = h.0, edges = slot.m, bytes = bytes);
                 Ok(g)
             }
         }

@@ -19,6 +19,9 @@
 //!   ([`sgs_solver`]); [`solver::SddSolver::for_stream`] consumes a
 //!   [`stream::StreamOutput`] directly, so a spilled stream feeds the chain without
 //!   re-materialising the input graph.
+//! * [`obs`] — structured tracing + metrics across every engine ([`sgs_obs`]):
+//!   install a sink, run any pipeline, export a JSONL event log or a Chrome
+//!   `trace_event` JSON, or aggregate ledgers into an [`obs::RunReport`].
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@ pub use sgs_core as sparsify;
 pub use sgs_distributed as distributed;
 pub use sgs_graph as graph;
 pub use sgs_linalg as linalg;
+pub use sgs_obs as obs;
 pub use sgs_solver as solver;
 pub use sgs_spanner as spanner;
 pub use sgs_stream as stream;

@@ -50,6 +50,12 @@ pub trait Serialize {
 /// the derive macro emits an empty impl so gated `derive(Deserialize)` compiles.
 pub trait Deserialize<'de>: Sized {}
 
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 macro_rules! impl_serialize_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {
